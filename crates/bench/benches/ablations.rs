@@ -1,0 +1,131 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out: what do
+//! the individual mechanisms of the CHERI C semantics cost?
+//!
+//! * representability padding (§3.2) — allocator throughput and wasted bytes;
+//! * ghost-state vs deterministic tag invalidation (§3.5) — data-store
+//!   throughput over capability-dense memory;
+//! * abstract-machine provenance checking (§2.3) vs hardware-only checks —
+//!   pointer-arithmetic throughput;
+//! * revocation sweeps (§7 temporal-safety extension) — free() cost with
+//!   many live capabilities in memory.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cheri_cap::MorelloCap;
+use cheri_mem::{CheriMemory, IntVal, MemConfig, TagInvalidation};
+
+type Mem = CheriMemory<MorelloCap>;
+
+fn bench_padding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/representability_padding");
+    for (name, pad) in [("on", true), ("off", false)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = MemConfig::cheri_reference();
+                cfg.pad_for_representability = pad;
+                let mut mem = Mem::new(cfg);
+                for i in 0..64u64 {
+                    let p = mem.allocate_region((1 << 14) + i * 13, 16).expect("malloc");
+                    black_box(p.addr());
+                }
+                black_box(mem.stats.padding_bytes)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_tag_invalidation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/tag_invalidation");
+    for (name, mode) in [
+        ("ghost", TagInvalidation::Ghost),
+        ("clear", TagInvalidation::Clear),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = MemConfig::cheri_reference();
+                cfg.tag_invalidation = mode;
+                let mut mem = Mem::new(cfg);
+                // Capability-dense region: 64 stored pointers.
+                let x = mem.allocate_object("x", 4, 4, false, Some(&[0; 4])).expect("x");
+                let slots = mem
+                    .allocate_object("slots", 16 * 64, 16, false, None)
+                    .expect("slots");
+                for i in 0..64 {
+                    let p = mem.array_shift(&slots, 16, i).expect("shift");
+                    mem.store_ptr(&p, &x).expect("store");
+                }
+                // Now hammer data stores over the same region, invalidating.
+                for i in 0..(16 * 64) {
+                    let p = mem.array_shift(&slots, 1, i).expect("shift");
+                    mem.store_int(&p, 1, &IntVal::Num(7)).expect("store");
+                }
+                black_box(mem.tagged_caps_in_memory())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_provenance_checking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/abstract_ub_checks");
+    for (name, abstract_ub) in [("abstract_machine", true), ("hardware_only", false)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = MemConfig::cheri_reference();
+                cfg.abstract_ub = abstract_ub;
+                let mut mem = Mem::new(cfg);
+                let arr = mem
+                    .allocate_object("arr", 4 * 512, 4, false, None)
+                    .expect("arr");
+                let mut acc = 0u64;
+                for round in 0..8 {
+                    for i in 0..512 {
+                        let p = mem.array_shift(&arr, 4, (i + round) % 512).expect("shift");
+                        acc ^= p.addr();
+                    }
+                }
+                black_box(acc)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_revocation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/revocation_sweep");
+    for (name, revoke) in [("on", true), ("off", false)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = MemConfig::cheri_hardware(cheri_mem::AddressLayout::cerberus());
+                cfg.revocation = revoke;
+                let mut mem = Mem::new(cfg);
+                // Populate memory with many live capabilities the sweep has
+                // to scan.
+                let x = mem.allocate_object("x", 4, 4, false, Some(&[0; 4])).expect("x");
+                let slots = mem
+                    .allocate_object("slots", 16 * 128, 16, false, None)
+                    .expect("slots");
+                for i in 0..128 {
+                    let p = mem.array_shift(&slots, 16, i).expect("shift");
+                    mem.store_ptr(&p, &x).expect("store");
+                }
+                for _ in 0..16 {
+                    let h = mem.allocate_region(64, 16).expect("malloc");
+                    mem.kill(&h, true).expect("free");
+                }
+                black_box(mem.stats.allocations)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_padding,
+    bench_tag_invalidation,
+    bench_provenance_checking,
+    bench_revocation
+);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Microbenchmarks of the capability models: bounds compression
+//! (encode/set-bounds), decompression (bounds decode), representability
+//! checks, and byte encode/decode — the operations every memory access in
+//! the semantics performs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cheri_cap::{Capability, CheriotCap, MorelloCap};
+
+fn regions(n: usize) -> Vec<(u64, u64)> {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    (0..n)
+        .map(|_| {
+            let base: u64 = rng.gen::<u64>() & 0xFFFF_FFFF_FFFF;
+            let len: u64 = 1 << rng.gen_range(0..40);
+            (base, len + rng.gen_range(0..len.max(2)))
+        })
+        .collect()
+}
+
+fn bench_set_bounds(c: &mut Criterion) {
+    let rs = regions(1024);
+    let root = MorelloCap::root();
+    c.bench_function("cap/morello/set_bounds", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for (base, len) in &rs {
+                let cap = root.with_bounds(*base, *len);
+                acc ^= cap.bounds().base;
+            }
+            black_box(acc)
+        });
+    });
+    let root32 = CheriotCap::root();
+    c.bench_function("cap/cheriot/set_bounds", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for (base, len) in &rs {
+                let cap = root32.with_bounds(base & 0xFFFF_FFF, len & 0xFF_FFFF);
+                acc ^= cap.bounds().base;
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_decode_bounds(c: &mut Criterion) {
+    let caps: Vec<MorelloCap> = regions(1024)
+        .into_iter()
+        .map(|(base, len)| MorelloCap::root().with_bounds(base, len))
+        .collect();
+    c.bench_function("cap/morello/decode_bounds", |b| {
+        b.iter(|| {
+            let mut acc = 0u128;
+            for cap in &caps {
+                acc ^= black_box(cap).bounds().top;
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_representability(c: &mut Criterion) {
+    let caps: Vec<MorelloCap> = regions(256)
+        .into_iter()
+        .map(|(base, len)| MorelloCap::root().with_bounds(base, len))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(7);
+    let probes: Vec<u64> = (0..256).map(|_| rng.gen()).collect();
+    c.bench_function("cap/morello/is_representable", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for cap in &caps {
+                for p in &probes[..16] {
+                    if cap.is_representable(cap.address().wrapping_add(p % 4096)) {
+                        n += 1;
+                    }
+                }
+            }
+            black_box(n)
+        });
+    });
+    c.bench_function("cap/morello/with_address", |b| {
+        b.iter(|| {
+            let mut tags = 0usize;
+            for cap in &caps {
+                for p in &probes[..16] {
+                    tags += usize::from(cap.with_address(*p).tag());
+                }
+            }
+            black_box(tags)
+        });
+    });
+}
+
+fn bench_byte_roundtrip(c: &mut Criterion) {
+    let caps: Vec<MorelloCap> = regions(1024)
+        .into_iter()
+        .map(|(base, len)| MorelloCap::root().with_bounds(base, len))
+        .collect();
+    c.bench_function("cap/morello/encode_decode", |b| {
+        b.iter(|| {
+            let mut acc = 0u8;
+            for cap in &caps {
+                let bytes = cap.encode();
+                let back = MorelloCap::decode(&bytes, cap.tag()).expect("16 bytes");
+                acc ^= back.encode()[0];
+            }
+            black_box(acc)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_set_bounds,
+    bench_decode_bounds,
+    bench_representability,
+    bench_byte_roundtrip
+);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! End-to-end interpreter benchmarks: whole CHERI C programs through the
+//! full pipeline (parse → typecheck → interpret), comparing the reference
+//! semantics, an emulated hardware implementation, and the ISO baseline,
+//! plus the cost of running the complete 94-test validation suite.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cheri_core::{compile, run, Interp, MorelloCap, Profile};
+
+const SUM_LOOP: &str = r#"
+int main(void) {
+  int a[64];
+  for (int i = 0; i < 64; i++) a[i] = i;
+  int s = 0;
+  for (int round = 0; round < 50; round++)
+    for (int i = 0; i < 64; i++)
+      s += a[i];
+  return s == 50 * 2016 ? 0 : 1;
+}"#;
+
+const UINTPTR_CHURN: &str = r#"
+#include <stdint.h>
+int main(void) {
+  int a[32];
+  for (int i = 0; i < 32; i++) a[i] = i;
+  uintptr_t base = (uintptr_t)a;
+  int s = 0;
+  for (int round = 0; round < 50; round++) {
+    for (int i = 0; i < 32; i++) {
+      uintptr_t u = base + i * sizeof(int);
+      int *p = (int*)u;
+      s += *p;
+    }
+  }
+  return s == 50 * 496 ? 0 : 1;
+}"#;
+
+const MALLOC_CHURN: &str = r#"
+int main(void) {
+  for (int i = 0; i < 100; i++) {
+    int *p = malloc(32 * sizeof(int));
+    for (int j = 0; j < 32; j++) p[j] = j;
+    free(p);
+  }
+  return 0;
+}"#;
+
+fn bench_programs(c: &mut Criterion) {
+    for (name, src) in [
+        ("sum_loop", SUM_LOOP),
+        ("uintptr_churn", UINTPTR_CHURN),
+        ("malloc_churn", MALLOC_CHURN),
+    ] {
+        let mut g = c.benchmark_group(format!("interp/{name}"));
+        for profile in [
+            Profile::cerberus(),
+            Profile::clang_morello(false),
+            Profile::iso_baseline(),
+        ] {
+            let prog = compile(src, &profile).expect("compile");
+            g.bench_function(profile.name.clone(), |b| {
+                b.iter(|| {
+                    let r = Interp::<MorelloCap>::new(&prog, &profile).run();
+                    assert!(r.outcome.is_success(), "{}", r.outcome);
+                    black_box(r.unspecified_reads)
+                });
+            });
+        }
+        g.finish();
+    }
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let profile = Profile::cerberus();
+    c.bench_function("frontend/parse_typecheck", |b| {
+        b.iter(|| black_box(compile(UINTPTR_CHURN, &profile).expect("compile")));
+    });
+}
+
+fn bench_suite(c: &mut Criterion) {
+    let mut g = c.benchmark_group("suite");
+    g.sample_size(10);
+    g.bench_function("all_94_tests_reference", |b| {
+        b.iter(|| {
+            let profile = Profile::cerberus();
+            let mut matched = 0usize;
+            for t in cheri_testsuite::all_tests() {
+                let r = run(t.source, &profile);
+                matched += usize::from(t.expected_for("cerberus").matches(&r));
+            }
+            assert_eq!(matched, 94);
+            black_box(matched)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_programs, bench_frontend, bench_suite);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Memory-object-model benchmarks: the cost of the CHERI abstract machine's
+//! checks relative to the ISO baseline model. The *shape* to expect: the
+//! CHERI model is somewhat slower per access (capability bounds decode +
+//! tag/permission checks + provenance), and capability-preserving `memcpy`
+//! costs more than plain data copies.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cheri_bench::MEM_OPS;
+use cheri_cap::{Capability, MorelloCap};
+use cheri_mem::{CheriMemory, IntVal, MemConfig};
+
+type Mem = CheriMemory<MorelloCap>;
+
+fn store_load_workload(mem: &mut Mem) -> i128 {
+    let arr = mem
+        .allocate_object("arr", 4 * MEM_OPS as u64, 4, false, None)
+        .expect("allocate");
+    let mut acc = 0i128;
+    for i in 0..MEM_OPS {
+        let p = mem.array_shift(&arr, 4, i as i64).expect("shift");
+        mem.store_int(&p, 4, &IntVal::Num(i as i128)).expect("store");
+    }
+    for i in 0..MEM_OPS {
+        let p = mem.array_shift(&arr, 4, i as i64).expect("shift");
+        acc += mem.load_int(&p, 4, true, false).expect("load").value();
+    }
+    mem.kill(&arr, false).expect("kill");
+    acc
+}
+
+fn bench_scalar_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mem/scalar_store_load");
+    g.bench_function("cheri_reference", |b| {
+        b.iter(|| {
+            let mut mem = Mem::new(MemConfig::cheri_reference());
+            black_box(store_load_workload(&mut mem))
+        });
+    });
+    g.bench_function("cheri_hardware", |b| {
+        b.iter(|| {
+            let mut mem = Mem::new(MemConfig::cheri_hardware(
+                cheri_mem::AddressLayout::clang_morello(),
+            ));
+            black_box(store_load_workload(&mut mem))
+        });
+    });
+    g.bench_function("iso_baseline", |b| {
+        b.iter(|| {
+            let mut mem = Mem::new(MemConfig::iso_baseline());
+            black_box(store_load_workload(&mut mem))
+        });
+    });
+    g.finish();
+}
+
+fn bench_pointer_heavy(c: &mut Criterion) {
+    // Stores and loads of *pointers*: the capability-metadata path.
+    let mut g = c.benchmark_group("mem/pointer_store_load");
+    for (name, cfg) in [
+        ("cheri_reference", MemConfig::cheri_reference()),
+        ("iso_baseline", MemConfig::iso_baseline()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut mem = Mem::new(cfg);
+                let x = mem.allocate_object("x", 4, 4, false, Some(&[0; 4])).expect("x");
+                let slots = mem
+                    .allocate_object("slots", 16 * 256, 16, false, None)
+                    .expect("slots");
+                for i in 0..256 {
+                    let p = mem.array_shift(&slots, 16, i).expect("shift");
+                    mem.store_ptr(&p, &x).expect("store");
+                }
+                let mut tags = 0usize;
+                for i in 0..256 {
+                    let p = mem.array_shift(&slots, 16, i).expect("shift");
+                    tags += usize::from(mem.load_ptr(&p).expect("load").cap.tag());
+                }
+                black_box(tags)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_memcpy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mem/memcpy_4k");
+    for (name, cfg) in [
+        ("cheri_reference", MemConfig::cheri_reference()),
+        ("iso_baseline", MemConfig::iso_baseline()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut mem = Mem::new(cfg);
+                let src = mem.allocate_object("src", 4096, 16, false, None).expect("src");
+                mem.memset(&src, 0xAB, 4096).expect("memset");
+                let dst = mem.allocate_object("dst", 4096, 16, false, None).expect("dst");
+                mem.memcpy(&dst, &src, 4096).expect("memcpy");
+                black_box(mem.memcmp(&dst, &src, 4096).expect("memcmp"))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mem/allocate_free");
+    for (name, cfg) in [
+        ("cheri_reference", MemConfig::cheri_reference()),
+        ("iso_baseline", MemConfig::iso_baseline()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut mem = Mem::new(cfg);
+                for i in 0..128u64 {
+                    let p = mem.allocate_region(16 + i * 8, 16).expect("malloc");
+                    mem.kill(&p, true).expect("free");
+                }
+                black_box(mem.stats.allocations)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scalar_ops,
+    bench_pointer_heavy,
+    bench_memcpy,
+    bench_allocation
+);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Test-oracle fuzzing (§7 of the paper): generate random CHERI C programs,
+//! use the executable reference semantics as the oracle, and check every
+//! implementation configuration against it — "letting one use randomly
+//! generated tests without manually curating their intended results."
+//!
+//! ```sh
+//! cargo run --release -p cheri-bench --bin oracle_fuzz -- [count] [base-seed]
+//! ```
+
+use cheri_bench::progen::generate;
+use cheri_core::{run, Outcome, Profile};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let count: u64 = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(200);
+    let base: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
+
+    let profiles = Profile::all_compared();
+    let mut divergences = 0u64;
+    let mut defined = 0u64;
+    let mut stopped = 0u64;
+
+    println!("oracle fuzz: {count} well-defined + {count} buggy programs, seeds {base}..");
+    for seed in base..base + count {
+        // Well-defined family: every configuration must exit with the
+        // oracle's value.
+        let g = generate(seed, false);
+        let want = Outcome::Exit(g.expected_exit.expect("well-defined"));
+        defined += 1;
+        for p in &profiles {
+            let r = run(&g.source, p);
+            if r.outcome != want {
+                divergences += 1;
+                println!(
+                    "DIVERGENCE seed={seed} profile={} expected {want} got {}",
+                    p.name, r.outcome
+                );
+                println!("{}", g.source);
+            }
+        }
+        // Buggy family: every CHERI configuration must stop (UB or trap).
+        let g = generate(seed, true);
+        for p in &profiles {
+            let r = run(&g.source, p);
+            match r.outcome {
+                Outcome::Ub { .. } | Outcome::Trap { .. } => stopped += 1,
+                Outcome::Exit(_) | Outcome::Abort | Outcome::AssertFailed(_) => {
+                    // An injected bug can be masked (e.g. the free() variant
+                    // under a hardware profile which has no allocator
+                    // bookkeeping checks); count but don't fail.
+                }
+                Outcome::Error(e) => {
+                    divergences += 1;
+                    println!("ERROR seed={seed} profile={}: {e}", p.name);
+                }
+            }
+        }
+    }
+    println!(
+        "\n{defined} defined programs x {} configurations: {divergences} divergences",
+        profiles.len()
+    );
+    println!(
+        "{count} buggy programs: {stopped}/{} configuration-runs safety-stopped",
+        count * profiles.len() as u64
+    );
+    if divergences > 0 {
+        std::process::exit(1);
+    }
+    println!("oracle agrees with every configuration.");
+}

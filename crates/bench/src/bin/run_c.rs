@@ -1,0 +1,28 @@
+//! Debug driver: run a C file (or inline source) under a named profile and
+//! print the outcome and output.
+use cheri_core::{run, Profile};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let path = args.get(1).expect("usage: run_c <file.c> [profile]");
+    let profile = match args.get(2).map(String::as_str) {
+        None | Some("cerberus") => Profile::cerberus(),
+        Some("baseline") => Profile::iso_baseline(),
+        Some("clang-morello-O0") => Profile::clang_morello(false),
+        Some("clang-morello-O3") => Profile::clang_morello(true),
+        Some("clang-riscv-O0") => Profile::clang_riscv(false),
+        Some("clang-riscv-O3") => Profile::clang_riscv(true),
+        Some("gcc-morello-O0") => Profile::gcc_morello(false),
+        Some("gcc-morello-O3") => Profile::gcc_morello(true),
+        Some(p) => panic!("unknown profile {p}"),
+    };
+    let src = std::fs::read_to_string(path).expect("read source");
+    let r = run(&src, &profile);
+    println!("outcome: {}", r.outcome);
+    if !r.stdout.is_empty() {
+        println!("── stdout ──\n{}", r.stdout);
+    }
+    if !r.stderr.is_empty() {
+        println!("── stderr ──\n{}", r.stderr);
+    }
+}

@@ -1,0 +1,21 @@
+//! Benchmark and experiment harness for the CHERI C semantics
+//! reconstruction.
+//!
+//! Binaries (each regenerates one artefact of the paper's evaluation):
+//!
+//! * `table1_tests` — Table 1 and the §5 compliance summary;
+//! * `fig1_layout` — Figure 1 (the Morello capability bit-field layout);
+//! * `appendix_a` — the Appendix A multi-implementation comparison;
+//! * `run_c` — debug driver: run a C file under a named profile.
+//!
+//! Criterion benches (`cargo bench`) characterise the reconstruction:
+//! capability encode/decode and representability checks, memory-model
+//! load/store throughput (CHERI vs the ISO baseline), and end-to-end
+//! interpretation of the paper's §3 example programs.
+
+#![forbid(unsafe_code)]
+
+pub mod progen;
+
+/// Workload sizes shared between benches so results are comparable.
+pub const MEM_OPS: usize = 4096;

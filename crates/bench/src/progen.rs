@@ -1,0 +1,255 @@
+//! Random CHERI C program generation with a built-in oracle.
+//!
+//! §7 of the paper: "The fact that our semantics is executable means that it
+//! could be used as a test oracle for more aggressive compiler testing,
+//! letting one use randomly generated tests without manually curating their
+//! intended results." This module provides exactly that workload: a
+//! deterministic generator of two program families —
+//!
+//! * **well-defined** programs whose exit code the generator computes while
+//!   emitting them (array writes/reads, pointer walks, `(u)intptr_t` round
+//!   trips, `memcpy`, helper-function calls); and
+//! * **buggy** programs: the same, with a single spatial violation injected
+//!   at a random point.
+//!
+//! Every implementation configuration must give the generated exit code for
+//! the first family and a safety stop for the second.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated program plus its expected behaviour.
+#[derive(Clone, Debug)]
+pub struct GenProgram {
+    /// The C source.
+    pub source: String,
+    /// Expected exit code (`None` for buggy programs, which must
+    /// safety-stop instead).
+    pub expected_exit: Option<i64>,
+    /// The seed it was generated from.
+    pub seed: u64,
+}
+
+struct Gen {
+    rng: StdRng,
+    body: String,
+    arrays: Vec<(String, usize, Vec<i64>)>,
+    acc: i64,
+    stmt_budget: usize,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen {
+            rng: StdRng::seed_from_u64(seed),
+            body: String::new(),
+            arrays: Vec::new(),
+            acc: 0,
+            stmt_budget: 0,
+        }
+    }
+
+    fn emit(&mut self, line: &str) {
+        self.body.push_str("  ");
+        self.body.push_str(line);
+        self.body.push('\n');
+    }
+
+    fn pick_array(&mut self) -> usize {
+        self.rng.gen_range(0..self.arrays.len())
+    }
+
+    fn stmt_write(&mut self) {
+        let a = self.pick_array();
+        let (name, size, _) = self.arrays[a].clone();
+        let i = self.rng.gen_range(0..size);
+        let v = self.rng.gen_range(-100..100i64);
+        let style = self.rng.gen_range(0..3);
+        match style {
+            0 => self.emit(&format!("{name}[{i}] = {v};")),
+            1 => self.emit(&format!("*({name} + {i}) = {v};")),
+            _ => self.emit(&format!(
+                "*(int*)((uintptr_t){name} + {i} * sizeof(int)) = {v};"
+            )),
+        }
+        self.arrays[a].2[i] = v;
+    }
+
+    fn stmt_read(&mut self) {
+        let a = self.pick_array();
+        let (name, size, vals) = self.arrays[a].clone();
+        let i = self.rng.gen_range(0..size);
+        let style = self.rng.gen_range(0..3);
+        match style {
+            0 => self.emit(&format!("s += {name}[{i}];")),
+            1 => self.emit(&format!("s += *({name} + {i});")),
+            _ => self.emit(&format!(
+                "s += *(int*)((uintptr_t){name} + {i} * sizeof(int));"
+            )),
+        }
+        self.acc += vals[i];
+    }
+
+    fn stmt_loop_sum(&mut self) {
+        let a = self.pick_array();
+        let (name, size, vals) = self.arrays[a].clone();
+        self.emit(&format!(
+            "for (int i = 0; i < {size}; i++) s += {name}[i];"
+        ));
+        self.acc += vals.iter().sum::<i64>();
+    }
+
+    fn stmt_memcpy(&mut self) {
+        if self.arrays.len() < 2 {
+            return;
+        }
+        let a = self.pick_array();
+        let mut b = self.pick_array();
+        if a == b {
+            b = (b + 1) % self.arrays.len();
+        }
+        let n = self.arrays[a].1.min(self.arrays[b].1);
+        let n = self.rng.gen_range(1..=n);
+        let (src, _, sv) = self.arrays[a].clone();
+        let (dst, _, _) = self.arrays[b].clone();
+        self.emit(&format!("memcpy({dst}, {src}, {n} * sizeof(int));"));
+        self.arrays[b].2[..n].copy_from_slice(&sv[..n]);
+    }
+
+    fn stmt_helper_call(&mut self) {
+        let a = self.pick_array();
+        let (name, size, vals) = self.arrays[a].clone();
+        let i = self.rng.gen_range(0..size);
+        self.emit(&format!("s += get({name}, {i});"));
+        self.acc += vals[i];
+    }
+
+    fn stmt_ptr_walk(&mut self) {
+        let a = self.pick_array();
+        let (name, size, vals) = self.arrays[a].clone();
+        let start = self.rng.gen_range(0..size);
+        self.emit(&format!(
+            "{{ int *p = {name} + {start}; while (p != {name}) {{ p--; s += *p; }} }}"
+        ));
+        self.acc += vals[..start].iter().sum::<i64>();
+    }
+
+    fn random_stmt(&mut self) {
+        match self.rng.gen_range(0..12) {
+            0..=3 => self.stmt_write(),
+            4..=6 => self.stmt_read(),
+            7 => self.stmt_loop_sum(),
+            8 => self.stmt_memcpy(),
+            9 => self.stmt_helper_call(),
+            _ => self.stmt_ptr_walk(),
+        }
+    }
+
+    fn inject_bug(&mut self) {
+        let a = self.pick_array();
+        let (name, size, _) = self.arrays[a].clone();
+        match self.rng.gen_range(0..3) {
+            0 => self.emit(&format!("{name}[{size}] = 1; /* one past */")),
+            1 => self.emit(&format!("s += {name}[{}]; /* far off */", size + 7)),
+            _ => self.emit(&format!(
+                "{{ int *p = {name}; free(p); /* not a heap pointer */ }}"
+            )),
+        }
+    }
+
+    fn finish(self, expected: Option<i64>) -> (String, Option<i64>) {
+        let mut decls = String::new();
+        for (name, size, init) in &self.arrays {
+            let vals: Vec<String> = init.iter().map(|_| "0".to_string()).collect();
+            let _ = vals;
+            decls.push_str(&format!("  int {name}[{size}];\n"));
+            decls.push_str(&format!(
+                "  for (int i = 0; i < {size}; i++) {name}[i] = 0;\n"
+            ));
+        }
+        let src = format!(
+            "#include <stdint.h>\n\
+             int get(int *a, int i) {{ return a[i]; }}\n\
+             int main(void) {{\n{decls}  long s = 0;\n{}  \
+             return (int)(s < 0 ? (-s) % 97 : s % 97);\n}}\n",
+            self.body
+        );
+        (src, expected)
+    }
+}
+
+/// Generate a program from `seed`. `buggy` injects one spatial violation at
+/// a random point (after which the oracle stops being meaningful).
+#[must_use]
+pub fn generate(seed: u64, buggy: bool) -> GenProgram {
+    let mut g = Gen::new(seed);
+    let n_arrays = g.rng.gen_range(1..4usize);
+    for k in 0..n_arrays {
+        let size = g.rng.gen_range(2..12usize);
+        g.arrays.push((format!("a{k}"), size, vec![0; size]));
+    }
+    g.stmt_budget = g.rng.gen_range(4..20);
+    let bug_at = if buggy {
+        Some(g.rng.gen_range(0..g.stmt_budget))
+    } else {
+        None
+    };
+    for i in 0..g.stmt_budget {
+        if bug_at == Some(i) {
+            g.inject_bug();
+            break;
+        }
+        g.random_stmt();
+    }
+    let expected = if buggy {
+        None
+    } else {
+        let s = g.acc;
+        Some(if s < 0 { (-s) % 97 } else { s % 97 })
+    };
+    let (source, expected_exit) = g.finish(expected);
+    GenProgram {
+        source,
+        expected_exit,
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_core::{run, Outcome, Profile};
+
+    #[test]
+    fn generated_programs_match_their_oracle() {
+        for seed in 0..40 {
+            let g = generate(seed, false);
+            let r = run(&g.source, &Profile::cerberus());
+            assert_eq!(
+                r.outcome,
+                Outcome::Exit(g.expected_exit.expect("well-defined")),
+                "seed {seed}\n{}",
+                g.source
+            );
+        }
+    }
+
+    #[test]
+    fn buggy_programs_safety_stop_under_cheri() {
+        let mut stops = 0;
+        for seed in 0..40 {
+            let g = generate(seed, true);
+            let r = run(&g.source, &Profile::cerberus());
+            assert!(
+                !matches!(r.outcome, Outcome::Error(_)),
+                "seed {seed}: {}\n{}",
+                r.outcome,
+                g.source
+            );
+            if r.outcome.is_safety_stop() {
+                stops += 1;
+            }
+        }
+        assert!(stops >= 35, "only {stops}/40 injected bugs were caught");
+    }
+}

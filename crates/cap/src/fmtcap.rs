@@ -1,0 +1,81 @@
+//! Capability pretty-printing in the style of the paper's Appendix A.
+//!
+//! The sample test output prints capabilities as
+//! `0xffffe6dc [rwRW,0xffffe6dc-0xffffe6e4]`, with `(invalid)` appended for
+//! untagged capabilities and `[?-?] ... (notag)` when the ghost state marks
+//! bounds or tag unspecified (that is how the `cerberus-cheri-coq` rows of
+//! Appendix A render ghost-state non-representability).
+
+use std::fmt;
+
+use crate::{Capability, GhostState};
+
+/// Wrapper that displays a capability in the Appendix A format.
+///
+/// # Example
+///
+/// ```
+/// use cheri_cap::{Capability, CapDisplay, MorelloCap};
+/// let c = MorelloCap::root()
+///     .with_perms_and(cheri_cap::Perms::data())
+///     .with_bounds(0x1000, 8);
+/// assert_eq!(CapDisplay(&c).to_string(), "0x1000 [rwRW,0x1000-0x1008]");
+/// ```
+pub struct CapDisplay<'a, C>(pub &'a C);
+
+impl<C: Capability> fmt::Display for CapDisplay<'_, C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = self.0;
+        let ghost: GhostState = c.ghost();
+        write!(f, "{:#x} ", c.address())?;
+        if ghost.bounds_unspecified {
+            write!(f, "[?-?]")?;
+        } else {
+            let b = c.bounds();
+            write!(f, "[{},{:#x}-{:#x}]", c.perms(), b.base, b.top)?;
+        }
+        if ghost.tag_unspecified {
+            write!(f, " (notag)")?;
+        } else if !c.tag() {
+            write!(f, " (invalid)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MorelloCap, Perms};
+
+    fn data_cap() -> MorelloCap {
+        MorelloCap::root()
+            .with_perms_and(Perms::data())
+            .with_bounds(0xffffe6dc, 8)
+    }
+
+    #[test]
+    fn valid_cap_format_matches_appendix_a() {
+        let c = data_cap();
+        assert_eq!(
+            CapDisplay(&c).to_string(),
+            "0xffffe6dc [rwRW,0xffffe6dc-0xffffe6e4]"
+        );
+    }
+
+    #[test]
+    fn untagged_cap_prints_invalid() {
+        let c = data_cap().clear_tag();
+        assert!(CapDisplay(&c).to_string().ends_with("(invalid)"));
+    }
+
+    #[test]
+    fn ghost_unspecified_prints_notag_and_unknown_bounds() {
+        let c = data_cap()
+            .with_address(0x7fffe6dc)
+            .with_ghost(GhostState::UNSPECIFIED);
+        let s = CapDisplay(&c).to_string();
+        assert!(s.contains("[?-?]"), "{s}");
+        assert!(s.ends_with("(notag)"), "{s}");
+    }
+}

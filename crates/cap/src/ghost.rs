@@ -1,0 +1,99 @@
+//! Per-capability-value ghost state.
+//!
+//! The paper introduces two ghost bits per capability value (§3.3, §3.5,
+//! §4.3): one recording that the *tag* became unspecified (e.g. after a
+//! non-capability write to the capability's in-memory representation), and
+//! one recording that the *address and bounds* became unspecified (e.g. after
+//! `(u)intptr_t` arithmetic made the value non-representable in the abstract
+//! machine). Ghost state is abstract-machine bookkeeping only: it has no
+//! hardware representation and is never stored in the encoded bytes.
+
+use std::fmt;
+
+/// The two-bit ghost state attached to every capability value and to every
+/// capability-aligned memory slot (the `ghost_state ≜ 𝔹 × 𝔹` of §4.3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct GhostState {
+    /// The tag of this capability is unspecified: reading it (e.g. via
+    /// `cheri_tag_get`) yields an unspecified value, and dereferencing is
+    /// `UB_CHERI_UndefinedTag`.
+    pub tag_unspecified: bool,
+    /// The address/bounds of this capability are unspecified, recorded when
+    /// abstract-machine `(u)intptr_t` arithmetic made it non-representable
+    /// (§3.3 option (c)).
+    pub bounds_unspecified: bool,
+}
+
+impl GhostState {
+    /// Fully-specified ghost state (the normal case).
+    pub const CLEAN: GhostState = GhostState {
+        tag_unspecified: false,
+        bounds_unspecified: false,
+    };
+
+    /// Ghost state after a direct representation write (§3.5): the tag is
+    /// unspecified.
+    pub const TAG_UNSPECIFIED: GhostState = GhostState {
+        tag_unspecified: true,
+        bounds_unspecified: false,
+    };
+
+    /// Ghost state after a non-representable `(u)intptr_t` excursion (§3.3):
+    /// bounds (and tag) unspecified.
+    pub const UNSPECIFIED: GhostState = GhostState {
+        tag_unspecified: true,
+        bounds_unspecified: true,
+    };
+
+    /// Is every field specified?
+    #[must_use]
+    pub const fn is_clean(self) -> bool {
+        !self.tag_unspecified && !self.bounds_unspecified
+    }
+
+    /// Join two ghost states: a field is unspecified if it is unspecified in
+    /// either input. Used when deriving a capability from another.
+    #[must_use]
+    pub const fn join(self, other: GhostState) -> GhostState {
+        GhostState {
+            tag_unspecified: self.tag_unspecified || other.tag_unspecified,
+            bounds_unspecified: self.bounds_unspecified || other.bounds_unspecified,
+        }
+    }
+}
+
+impl fmt::Debug for GhostState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.tag_unspecified, self.bounds_unspecified) {
+            (false, false) => write!(f, "GhostState(clean)"),
+            (true, false) => write!(f, "GhostState(tag?)"),
+            (false, true) => write!(f, "GhostState(bounds?)"),
+            (true, true) => write!(f, "GhostState(tag?,bounds?)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_by_default() {
+        assert!(GhostState::default().is_clean());
+        assert_eq!(GhostState::default(), GhostState::CLEAN);
+    }
+
+    #[test]
+    fn join_is_monotone() {
+        let j = GhostState::CLEAN.join(GhostState::TAG_UNSPECIFIED);
+        assert!(j.tag_unspecified);
+        assert!(!j.bounds_unspecified);
+        let j2 = j.join(GhostState::UNSPECIFIED);
+        assert_eq!(j2, GhostState::UNSPECIFIED);
+    }
+
+    #[test]
+    fn debug_never_empty() {
+        assert_eq!(format!("{:?}", GhostState::CLEAN), "GhostState(clean)");
+    }
+}

@@ -1,0 +1,63 @@
+//! Abstract and concrete CHERI capability models.
+//!
+//! This crate is the Rust analogue of the paper's "abstract capabilities" Coq
+//! module type (§4.1 of *Formal Mechanised Semantics of CHERI C*, ASPLOS 2024)
+//! together with two concrete, executable instantiations:
+//!
+//! * [`MorelloCap`] — a 128+1-bit capability with a CHERI-Concentrate-style
+//!   compressed bounds encoding and the Morello field layout of Figure 1
+//!   (18 permission bits, 15-bit object type, 64-bit address).
+//! * [`CheriotCap`] — a 64+1-bit capability for a 32-bit address space in the
+//!   style of CHERIoT, with byte-granular bounds for small objects.
+//!
+//! The crate deliberately contains **no memory state**: a capability is a pure
+//! value. The CHERI C memory object model (crate `cheri-mem`) stores
+//! capabilities, their tags and their *ghost state* (§3.3, §3.5 of the paper)
+//! in memory; the per-value ghost state itself is defined here
+//! ([`GhostState`]) because it travels with capability values through
+//! arithmetic.
+//!
+//! # Example
+//!
+//! ```
+//! use cheri_cap::{Capability, MorelloCap};
+//!
+//! // Derive a capability for a 16-byte object at 0x1000 from the root.
+//! let root = MorelloCap::root();
+//! let obj = root.with_bounds(0x1000, 16).with_address(0x1000);
+//! assert!(obj.tag());
+//! assert_eq!(obj.bounds().base, 0x1000);
+//! assert_eq!(obj.bounds().top, 0x1010);
+//!
+//! // Small bounds are exact; moving the address far out of bounds makes the
+//! // capability non-representable and clears the tag (§3.2 of the paper).
+//! let far = obj.with_address(0x4000_0000);
+//! assert!(!far.tag());
+//! assert_eq!(far.address(), 0x4000_0000); // address is still as expected
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod concentrate;
+mod fmtcap;
+mod ghost;
+mod otype;
+mod perms;
+mod traits;
+
+pub use concentrate::{CcCap, CcProfile, CheriotProfile, MorelloProfile};
+pub use fmtcap::CapDisplay;
+pub use ghost::GhostState;
+pub use otype::OType;
+pub use perms::Perms;
+pub use traits::{Bounds, Capability, SealError};
+
+/// The 128+1-bit Morello-style capability (Figure 1 of the paper).
+pub type MorelloCap = CcCap<MorelloProfile>;
+
+/// The 64+1-bit CHERIoT-style capability for 32-bit address spaces.
+pub type CheriotCap = CcCap<CheriotProfile>;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,95 @@
+//! Object types and sealing.
+//!
+//! §2.1 of the paper: capabilities can be *sealed*, making them immutable and
+//! unusable for anything but branching to them; sealing variations are
+//! indexed by an object type (`otype`). §3.10 notes the otype field width and
+//! values vary between architectures, so the width is a profile parameter and
+//! the reserved values are defined here once.
+
+use std::fmt;
+
+/// A capability object type (the `otype[14:0]` field of Figure 1, with a
+/// profile-dependent width).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OType(u32);
+
+impl OType {
+    /// The unsealed object type.
+    pub const UNSEALED: OType = OType(0);
+    /// A *sentry* (sealed entry) capability: unsealed automatically on branch.
+    pub const SENTRY: OType = OType(1);
+    /// First object type available for software-defined sealing.
+    pub const FIRST_USER: OType = OType(4);
+
+    /// Construct an object type from its numeric value, truncated to `bits`.
+    #[must_use]
+    pub const fn new(value: u32, bits: u32) -> Self {
+        OType(value & ((1 << bits) - 1))
+    }
+
+    /// The numeric value of this object type.
+    #[must_use]
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+
+    /// Is this an object type of a sealed capability (anything but
+    /// [`OType::UNSEALED`])?
+    #[must_use]
+    pub const fn is_sealed(self) -> bool {
+        self.0 != Self::UNSEALED.0
+    }
+
+    /// Is this a reserved (architecturally special) object type, rather than
+    /// one available for software sealing?
+    #[must_use]
+    pub const fn is_reserved(self) -> bool {
+        self.0 < Self::FIRST_USER.0
+    }
+}
+
+impl Default for OType {
+    fn default() -> Self {
+        OType::UNSEALED
+    }
+}
+
+impl fmt::Debug for OType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            OType::UNSEALED => write!(f, "OType(unsealed)"),
+            OType::SENTRY => write!(f, "OType(sentry)"),
+            OType(n) => write!(f, "OType({n})"),
+        }
+    }
+}
+
+impl fmt::Display for OType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsealed_is_not_sealed() {
+        assert!(!OType::UNSEALED.is_sealed());
+        assert!(OType::SENTRY.is_sealed());
+        assert!(OType::new(42, 15).is_sealed());
+    }
+
+    #[test]
+    fn new_truncates_to_width() {
+        assert_eq!(OType::new(0xFFFF_FFFF, 15).value(), 0x7FFF);
+    }
+
+    #[test]
+    fn reserved_range() {
+        assert!(OType::UNSEALED.is_reserved());
+        assert!(OType::SENTRY.is_reserved());
+        assert!(!OType::FIRST_USER.is_reserved());
+    }
+}

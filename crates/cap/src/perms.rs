@@ -1,0 +1,291 @@
+//! Capability permission bits.
+//!
+//! The paper (§3.10) abstracts permissions as "a common basic set which is
+//! always present" plus architecture-specific extras. We model the Morello
+//! 18-bit permission field; the CHERIoT profile reuses the same names for its
+//! (smaller) common subset, which is all the CHERI C semantics needs.
+
+use std::fmt;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, Not, Sub};
+
+/// A set of capability permissions.
+///
+/// Hand-rolled bitflags (the `bitflags` crate is not among the approved
+/// dependencies). The bit assignments follow the Morello ordering with
+/// `GLOBAL` in bit 0, so a full permission word occupies 18 bits — the
+/// `perms[17:0]` field of Figure 1.
+///
+/// # Example
+///
+/// ```
+/// use cheri_cap::Perms;
+/// let p = Perms::LOAD | Perms::STORE;
+/// assert!(p.contains(Perms::LOAD));
+/// assert!(!p.contains(Perms::EXECUTE));
+/// // Permissions can only be narrowed (§3.9: clearing is irreversible).
+/// let narrowed = p & !Perms::STORE;
+/// assert_eq!(narrowed, Perms::LOAD);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Perms(u32);
+
+macro_rules! perm_consts {
+    ($($(#[$doc:meta])* $name:ident = $bit:expr;)*) => {
+        impl Perms {
+            $( $(#[$doc])* pub const $name: Perms = Perms(1 << $bit); )*
+
+            /// Every permission bit name with its mask, for diagnostics.
+            pub const ALL_NAMED: &'static [(&'static str, Perms)] = &[
+                $( (stringify!($name), Perms::$name), )*
+            ];
+        }
+    };
+}
+
+perm_consts! {
+    /// The capability may be stored via store-local-permitted capabilities.
+    GLOBAL = 0;
+    /// Morello executive/restricted banking control.
+    EXECUTIVE = 1;
+    /// Architecture-specific user permission 0.
+    USER0 = 2;
+    /// Architecture-specific user permission 1.
+    USER1 = 3;
+    /// Architecture-specific user permission 2.
+    USER2 = 4;
+    /// Architecture-specific user permission 3.
+    USER3 = 5;
+    /// Mutable-load (loaded capabilities keep store rights).
+    MUTABLE_LOAD = 6;
+    /// Compartment-ID permission.
+    COMPARTMENT_ID = 7;
+    /// Branch-sealed-pair (sentry-call) permission.
+    BRANCH_SEALED_PAIR = 8;
+    /// Access to system/privileged registers.
+    SYSTEM = 9;
+    /// May unseal capabilities whose otype is in bounds.
+    UNSEAL = 10;
+    /// May seal capabilities with an otype in bounds.
+    SEAL = 11;
+    /// May store capabilities that lack `GLOBAL`.
+    STORE_LOCAL_CAP = 12;
+    /// May store capabilities (preserving their tags).
+    STORE_CAP = 13;
+    /// May load capabilities (preserving their tags).
+    LOAD_CAP = 14;
+    /// May fetch instructions.
+    EXECUTE = 15;
+    /// May store (non-capability) data.
+    STORE = 16;
+    /// May load (non-capability) data.
+    LOAD = 17;
+}
+
+impl Perms {
+    /// Width of the permission field in bits (Figure 1: `perms[17:0]`).
+    pub const BITS: u32 = 18;
+
+    /// The empty permission set.
+    #[must_use]
+    pub const fn empty() -> Self {
+        Perms(0)
+    }
+
+    /// Every permission bit set (the root capability's permissions).
+    #[must_use]
+    pub const fn all() -> Self {
+        Perms((1 << Self::BITS) - 1)
+    }
+
+    /// The permissions CHERI C gives to ordinary data pointers:
+    /// load/store of data and capabilities, global.
+    #[must_use]
+    pub const fn data() -> Self {
+        Perms(
+            Self::GLOBAL.0
+                | Self::LOAD.0
+                | Self::STORE.0
+                | Self::LOAD_CAP.0
+                | Self::STORE_CAP.0
+                | Self::STORE_LOCAL_CAP.0
+                | Self::MUTABLE_LOAD.0,
+        )
+    }
+
+    /// The permissions of a pointer to a `const`-qualified object (§3.9):
+    /// like [`Perms::data`] but without write permissions.
+    #[must_use]
+    pub const fn data_readonly() -> Self {
+        Perms(Self::GLOBAL.0 | Self::LOAD.0 | Self::LOAD_CAP.0 | Self::MUTABLE_LOAD.0)
+    }
+
+    /// The permissions CHERI C gives to function pointers.
+    #[must_use]
+    pub const fn code() -> Self {
+        Perms(Self::GLOBAL.0 | Self::LOAD.0 | Self::EXECUTE.0 | Self::BRANCH_SEALED_PAIR.0)
+    }
+
+    /// Construct from the raw 18-bit representation, masking excess bits.
+    #[must_use]
+    pub const fn from_bits_truncate(bits: u32) -> Self {
+        Perms(bits & ((1 << Self::BITS) - 1))
+    }
+
+    /// The raw 18-bit representation.
+    #[must_use]
+    pub const fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Does `self` include every permission in `other`?
+    #[must_use]
+    pub const fn contains(self, other: Perms) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Is this the empty set?
+    #[must_use]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Is `self` a subset of `other`? Capability derivation may only shrink
+    /// permissions, so every derived capability satisfies
+    /// `derived.perms().is_subset_of(parent.perms())`.
+    #[must_use]
+    pub const fn is_subset_of(self, other: Perms) -> bool {
+        self.0 & !other.0 == 0
+    }
+}
+
+impl BitOr for Perms {
+    type Output = Perms;
+    fn bitor(self, rhs: Perms) -> Perms {
+        Perms(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for Perms {
+    fn bitor_assign(&mut self, rhs: Perms) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for Perms {
+    type Output = Perms;
+    fn bitand(self, rhs: Perms) -> Perms {
+        Perms(self.0 & rhs.0)
+    }
+}
+
+impl BitAndAssign for Perms {
+    fn bitand_assign(&mut self, rhs: Perms) {
+        self.0 &= rhs.0;
+    }
+}
+
+impl Sub for Perms {
+    type Output = Perms;
+    fn sub(self, rhs: Perms) -> Perms {
+        Perms(self.0 & !rhs.0)
+    }
+}
+
+impl Not for Perms {
+    type Output = Perms;
+    fn not(self) -> Perms {
+        Perms(!self.0 & ((1 << Self::BITS) - 1))
+    }
+}
+
+impl fmt::Debug for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "Perms()");
+        }
+        write!(f, "Perms(")?;
+        let mut first = true;
+        for (name, mask) in Self::ALL_NAMED {
+            if self.contains(*mask) {
+                if !first {
+                    write!(f, "|")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Perms {
+    /// Short permission string in the style of the paper's Appendix A:
+    /// `rwRW` = load, store, load-cap, store-cap; `x` = execute.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.contains(Perms::LOAD) {
+            write!(f, "r")?;
+        }
+        if self.contains(Perms::STORE) {
+            write!(f, "w")?;
+        }
+        if self.contains(Perms::EXECUTE) {
+            write!(f, "x")?;
+        }
+        if self.contains(Perms::LOAD_CAP) {
+            write!(f, "R")?;
+        }
+        if self.contains(Perms::STORE_CAP) {
+            write!(f, "W")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_18_bits() {
+        assert_eq!(Perms::all().bits(), 0x3FFFF);
+    }
+
+    #[test]
+    fn data_perms_allow_load_store() {
+        let p = Perms::data();
+        assert!(p.contains(Perms::LOAD | Perms::STORE));
+        assert!(p.contains(Perms::LOAD_CAP | Perms::STORE_CAP));
+        assert!(!p.contains(Perms::EXECUTE));
+    }
+
+    #[test]
+    fn readonly_is_subset_of_data() {
+        assert!(Perms::data_readonly().is_subset_of(Perms::data()));
+        assert!(!Perms::data().is_subset_of(Perms::data_readonly()));
+    }
+
+    #[test]
+    fn not_masks_to_field_width() {
+        assert_eq!((!Perms::empty()).bits(), Perms::all().bits());
+    }
+
+    #[test]
+    fn subtraction_removes_bits() {
+        let p = Perms::data() - Perms::STORE;
+        assert!(!p.contains(Perms::STORE));
+        assert!(p.contains(Perms::LOAD));
+    }
+
+    #[test]
+    fn display_appendix_a_style() {
+        assert_eq!(Perms::data().to_string(), "rwRW");
+        assert_eq!(Perms::data_readonly().to_string(), "rR");
+        assert_eq!(Perms::code().to_string(), "rx");
+    }
+
+    #[test]
+    fn debug_never_empty() {
+        assert_eq!(format!("{:?}", Perms::empty()), "Perms()");
+        assert!(format!("{:?}", Perms::LOAD).contains("LOAD"));
+    }
+}

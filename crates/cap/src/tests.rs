@@ -1,0 +1,209 @@
+//! Property-based tests for the capability models.
+//!
+//! These check the architectural invariants the paper's semantics relies on:
+//! bounds monotonicity (unforgeability), exactness for small objects,
+//! representability slack (§3.2/§3.3), and encode/decode faithfulness.
+
+use proptest::prelude::*;
+
+use crate::{Bounds, Capability, CheriotCap, GhostState, MorelloCap, Perms};
+
+fn arb_region_64() -> impl Strategy<Value = (u64, u64)> {
+    // Bases anywhere, lengths from tiny to huge (log-uniform-ish).
+    (any::<u64>(), 0u32..60).prop_map(|(seed, logl)| {
+        let base = seed & 0x0000_FFFF_FFFF_FFFF;
+        let len = if logl == 0 {
+            seed % 16
+        } else {
+            (1u64 << logl) + (seed % (1u64 << logl))
+        };
+        (base, len)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `with_bounds` always yields decoded bounds containing the request.
+    #[test]
+    fn bounds_cover_request((base, len) in arb_region_64()) {
+        let c = MorelloCap::root().with_bounds(base, len);
+        prop_assert!(c.tag());
+        let b = c.bounds();
+        prop_assert!(b.base <= base);
+        prop_assert!(b.top >= base as u128 + len as u128);
+        // The rounding slack is bounded: at most 25% of the length on
+        // either side (CHERI Concentrate guarantees much less; this is a
+        // conservative sanity envelope).
+        let slack = (len / 2).max(4096) as u128;
+        prop_assert!(b.top - (base as u128 + len as u128) <= slack);
+        prop_assert!((base - b.base) as u128 <= slack);
+    }
+
+    /// Small regions (< 2^12 for Morello) are always exactly representable.
+    #[test]
+    fn small_bounds_exact(base in any::<u64>(), len in 0u64..4096) {
+        let base = base & 0x0000_FFFF_FFFF_FFFF;
+        let c = MorelloCap::root().with_bounds_exact(base, len);
+        prop_assert!(c.tag());
+        prop_assert_eq!(c.bounds(), Bounds::new(base, len));
+    }
+
+    /// Monotonicity: narrowing twice never widens, and any tagged derived
+    /// capability's bounds are within the parent's.
+    #[test]
+    fn narrowing_is_monotone((base, len) in arb_region_64(), cut in any::<(u16, u16)>()) {
+        let parent = MorelloCap::root().with_bounds(base, len);
+        let off = u64::from(cut.0) % (len + 1);
+        let sub_len = u64::from(cut.1) % (len - off + 1);
+        let child = parent.with_bounds(base + off, sub_len);
+        if child.tag() {
+            prop_assert!(child.bounds().base >= parent.bounds().base);
+            prop_assert!(child.bounds().top <= parent.bounds().top);
+        }
+    }
+
+    /// In-bounds addresses are always representable: moving the address
+    /// within the object never clears the tag or changes bounds.
+    #[test]
+    fn in_bounds_addresses_representable((base, len) in arb_region_64(), k in any::<u64>()) {
+        prop_assume!(len > 0);
+        let c = MorelloCap::root().with_bounds(base, len);
+        let addr = c.bounds().base + k % c.bounds().length().max(1);
+        let moved = c.with_address(addr);
+        prop_assert!(moved.tag(), "addr {addr:#x} in {:?}", c.bounds());
+        prop_assert_eq!(moved.bounds(), c.bounds());
+        prop_assert_eq!(moved.address(), addr);
+    }
+
+    /// One-past-the-end is always representable (§3.2: required to support
+    /// the standard C idiom of iterating across an array).
+    #[test]
+    fn one_past_representable((base, len) in arb_region_64()) {
+        let c = MorelloCap::root().with_bounds(base, len);
+        let one_past = u64::try_from(c.bounds().top.min(u64::MAX as u128)).unwrap();
+        prop_assert!(c.is_representable(one_past));
+    }
+
+    /// §3.3(i) guarantee for 64-bit CHERI: representable within
+    /// max(1KiB, size/8) below and max(2KiB, size/4) above the object.
+    #[test]
+    fn representable_slack_guarantee(len in 1u64..(1 << 40), base in any::<u64>()) {
+        let base = (base & 0x0000_FFFF_FFFF_0000) | (1 << 48);
+        let c = MorelloCap::root().with_bounds(base, len);
+        let b = c.bounds();
+        let below = (len / 8).max(1024);
+        let above = (len / 4).max(2048);
+        prop_assert!(c.is_representable(b.base.wrapping_sub(below)));
+        let hi = b.top + above as u128 - 1;
+        if hi < (1u128 << 64) {
+            prop_assert!(c.is_representable(hi as u64));
+        }
+    }
+
+    /// Encode/decode faithfulness: the byte representation round-trips all
+    /// architectural fields.
+    #[test]
+    fn roundtrip_morello((base, len) in arb_region_64(), addr in any::<u64>(), pbits in any::<u32>()) {
+        let c = MorelloCap::root()
+            .with_perms_and(Perms::from_bits_truncate(pbits))
+            .with_bounds(base, len)
+            .with_address(base.wrapping_add(addr % (len + 1)));
+        let d = MorelloCap::decode(&c.encode(), c.tag()).unwrap();
+        prop_assert_eq!(d, c.with_ghost(GhostState::CLEAN));
+        prop_assert_eq!(d.bounds(), c.bounds());
+    }
+
+    /// Decoding arbitrary byte patterns never panics and re-encodes to the
+    /// same bytes (the encoding has no junk bits for Morello... except the
+    /// reserved bits, which decode-then-encode clears deterministically).
+    #[test]
+    fn decode_arbitrary_bytes_total(bytes in prop::array::uniform16(any::<u8>())) {
+        let c = MorelloCap::decode(&bytes, true).unwrap();
+        let _ = c.bounds();
+        let re = MorelloCap::decode(&c.encode(), true).unwrap();
+        prop_assert_eq!(re, c);
+    }
+
+    /// The representable-length intrinsic pair: padding the length and
+    /// aligning the base per the mask yields exactly representable bounds.
+    #[test]
+    fn representable_length_and_mask_compose(len in 1u64..(1 << 45), base in any::<u64>()) {
+        let rl = MorelloCap::representable_length(len);
+        let mask = MorelloCap::representable_alignment_mask(len);
+        prop_assert!(rl >= len);
+        let base = (base & 0x0000_FFFF_FFFF_FFFF) & mask;
+        let c = MorelloCap::root().with_bounds_exact(base, rl);
+        prop_assert!(c.tag(), "len {len} rl {rl} mask {mask:#x}");
+    }
+
+    /// CHERIoT profile: same core invariants at 32 bits.
+    #[test]
+    fn cheriot_bounds_cover(base in any::<u32>(), len in 0u32..(1 << 30)) {
+        let base = u64::from(base & 0x3FFF_FFFF);
+        let len = u64::from(len);
+        let c = CheriotCap::root().with_bounds(base, len);
+        prop_assert!(c.tag());
+        prop_assert!(c.bounds().base <= base);
+        prop_assert!(c.bounds().top >= base as u128 + len as u128);
+        let d = CheriotCap::decode(&c.encode(), c.tag()).unwrap();
+        prop_assert_eq!(d.bounds(), c.bounds());
+    }
+
+    /// Tag monotonicity: no sequence of address moves resurrects a cleared tag.
+    #[test]
+    fn tag_never_resurrects((base, len) in arb_region_64(), moves in prop::collection::vec(any::<u64>(), 1..8)) {
+        let mut c = MorelloCap::root().with_bounds(base, len);
+        let mut was_cleared = false;
+        for m in moves {
+            c = c.with_address(m & 0x0000_FFFF_FFFF_FFFF);
+            if !c.tag() {
+                was_cleared = true;
+            }
+            if was_cleared {
+                prop_assert!(!c.tag());
+            }
+        }
+    }
+}
+
+// ── Exhaustive small-scale validation ────────────────────────────────────
+
+/// Every (base, length) pair in a small window round-trips exactly through
+/// the compressed encoding: small regions are byte-precise (§2.1).
+#[test]
+fn exhaustive_small_bounds_exact() {
+    let root = MorelloCap::root();
+    for base in (0u64..256).chain(0xFFF0..0x1010) {
+        for len in 0u64..300 {
+            let c = root.with_bounds(base, len);
+            assert!(c.tag(), "({base:#x},{len})");
+            assert_eq!(
+                c.bounds(),
+                Bounds::new(base, len),
+                "({base:#x},{len}) must be exact"
+            );
+            // And the byte representation is faithful.
+            let d = MorelloCap::decode(&c.encode(), true).unwrap();
+            assert_eq!(d.bounds(), c.bounds(), "({base:#x},{len})");
+        }
+    }
+}
+
+/// For a window of larger lengths, decoded bounds always cover the request
+/// and representable_length is the exact fixed point of the rounding.
+#[test]
+fn exhaustive_rounding_window() {
+    let root = MorelloCap::root();
+    for len in (1u64 << 14)..(1 << 14) + 512 {
+        let c = root.with_bounds(0x2_0000, len);
+        let got = c.bounds().length();
+        assert!(got >= len);
+        assert_eq!(got, MorelloCap::representable_length(len), "len {len}");
+        assert_eq!(
+            MorelloCap::representable_length(got),
+            got,
+            "rounding must be idempotent (len {len})"
+        );
+    }
+}

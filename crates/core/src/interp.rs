@@ -1,0 +1,1848 @@
+//! The evaluator: executes the typed IR against the memory object model.
+//!
+//! This is the Rust counterpart of Cerberus' Core driver specialised to our
+//! mini-Core (§4 of the paper). All memory behaviour — capability checks,
+//! provenance, ghost state, undefined behaviours — lives in `cheri-mem`;
+//! the evaluator contributes expression evaluation order, integer semantics
+//! (overflow UB, conversions), capability derivation at arithmetic
+//! (§3.3/§3.7), calls, and the builtins/intrinsics.
+
+use std::collections::HashMap;
+
+use cheri_cap::{Capability, GhostState, Perms};
+use cheri_mem::{AllocKind, CheriMemory, IntVal, MemError, Provenance, PtrVal, Ub};
+
+use crate::ast::{BinOp, UnOp};
+use crate::profile::Profile;
+use crate::report::{Outcome, RunResult};
+use crate::tast::*;
+use crate::types::{FloatTy, IntTy, Ty, TypeTable};
+
+/// Runtime value.
+#[derive(Clone, Debug)]
+pub enum Value<C> {
+    /// No value.
+    Void,
+    /// Integer (possibly capability-carrying).
+    Int {
+        /// Its C type.
+        ity: IntTy,
+        /// The value.
+        v: IntVal<C>,
+    },
+    /// Floating-point value (kept at f64 precision; f32 results are
+    /// rounded through f32 after every operation).
+    Float {
+        /// Its C type.
+        fty: FloatTy,
+        /// The value.
+        v: f64,
+    },
+    /// Pointer.
+    Ptr {
+        /// The pointer's C type.
+        ty: Ty,
+        /// The value.
+        v: PtrVal<C>,
+    },
+}
+
+impl<C: Capability> Value<C> {
+    fn truthy(&self) -> bool {
+        match self {
+            Value::Void => false,
+            Value::Int { v, .. } => v.value() != 0,
+            Value::Float { v, .. } => *v != 0.0,
+            Value::Ptr { v, .. } => v.addr() != 0,
+        }
+    }
+
+    fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float { v, .. } => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn as_int(&self) -> Option<&IntVal<C>> {
+        match self {
+            Value::Int { v, .. } => Some(v),
+            _ => None,
+        }
+    }
+
+    fn as_ptr(&self) -> Option<&PtrVal<C>> {
+        match self {
+            Value::Ptr { v, .. } => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The capability carried by this value, if any.
+    fn cap(&self) -> Option<&C> {
+        match self {
+            Value::Ptr { v, .. } => Some(&v.cap),
+            Value::Int { v, .. } => v.as_cap(),
+            Value::Float { .. } | Value::Void => None,
+        }
+    }
+}
+
+/// Control-flow signal from statement execution.
+enum Flow<C> {
+    Normal,
+    Break,
+    Continue,
+    Return(Value<C>),
+}
+
+/// Internal error/exit channel.
+enum Stop {
+    Mem(MemError),
+    Assert(String),
+    Abort,
+    Exit(i64),
+    Limit(String),
+    Unsupported(String),
+}
+
+impl From<MemError> for Stop {
+    fn from(e: MemError) -> Self {
+        Stop::Mem(e)
+    }
+}
+
+type EResult<T> = Result<T, Stop>;
+
+struct Frame<C: Capability> {
+    vars: HashMap<String, (PtrVal<C>, Ty)>,
+    to_kill: Vec<PtrVal<C>>,
+}
+
+/// The interpreter.
+pub struct Interp<'p, C: Capability> {
+    prog: &'p TProgram,
+    profile: &'p Profile,
+    /// The memory object model instance (exposed for statistics).
+    pub mem: CheriMemory<C>,
+    globals: HashMap<String, (PtrVal<C>, Ty)>,
+    func_ptrs: HashMap<String, PtrVal<C>>,
+    addr_to_func: HashMap<u64, String>,
+    strings: HashMap<String, PtrVal<C>>,
+    stdout: String,
+    stderr: String,
+    steps: u64,
+    max_steps: u64,
+    call_depth: u32,
+    unspecified_reads: u32,
+}
+
+fn types_size(tt: &TypeTable, ty: &Ty) -> u64 {
+    tt.size_of(ty)
+}
+
+impl<'p, C: Capability> Interp<'p, C> {
+    /// Create an interpreter for `prog` under `profile`.
+    #[must_use]
+    pub fn new(prog: &'p TProgram, profile: &'p Profile) -> Self {
+        Interp {
+            prog,
+            profile,
+            mem: CheriMemory::new(profile.mem),
+            globals: HashMap::new(),
+            func_ptrs: HashMap::new(),
+            addr_to_func: HashMap::new(),
+            strings: HashMap::new(),
+            stdout: String::new(),
+            stderr: String::new(),
+            steps: 0,
+            max_steps: 50_000_000,
+            call_depth: 0,
+            unspecified_reads: 0,
+        }
+    }
+
+    /// Run the program: initialise globals and functions, call `main`.
+    pub fn run(self) -> RunResult {
+        self.run_with_trace().0
+    }
+
+    /// Like [`Interp::run`], returning the memory-event trace as well
+    /// (empty unless [`CheriMemory::enable_trace`] was called on
+    /// [`Interp::mem`] first). The trace is what makes the executable
+    /// semantics usable as a test oracle (§7).
+    pub fn run_with_trace(mut self) -> (RunResult, Vec<String>) {
+        let outcome = match self.run_inner() {
+            Ok(code) => Outcome::Exit(code),
+            Err(Stop::Mem(e)) => e.into(),
+            Err(Stop::Assert(m)) => Outcome::AssertFailed(m),
+            Err(Stop::Abort) => Outcome::Abort,
+            Err(Stop::Exit(c)) => Outcome::Exit(c),
+            Err(Stop::Limit(m)) | Err(Stop::Unsupported(m)) => Outcome::Error(m),
+        };
+        let trace = self.mem.take_trace();
+        (
+            RunResult {
+                outcome,
+                stdout: self.stdout,
+                stderr: self.stderr,
+                unspecified_reads: self.unspecified_reads,
+            },
+            trace,
+        )
+    }
+
+    fn run_inner(&mut self) -> EResult<i64> {
+        // Function allocations: every defined function gets a 1-byte
+        // allocation so function pointers have provenance, bounds and an
+        // EXECUTE-permission sentry capability.
+        let mut names: Vec<&String> = self.prog.funcs.keys().collect();
+        names.sort();
+        for name in names {
+            let p = self
+                .mem
+                .allocate_kind(name, 1, 16, AllocKind::Function, true, Some(&[0]))?;
+            let sentry = PtrVal::new(p.prov, p.cap.seal_entry());
+            self.addr_to_func.insert(p.addr(), name.clone());
+            self.func_ptrs.insert(name.clone(), sentry);
+        }
+        // Globals, in declaration order.
+        for g in &self.prog.globals {
+            let size = types_size(&self.prog.types, &g.ty);
+            let align = self.prog.types.align_of(&g.ty);
+            let p = self
+                .mem
+                .allocate_kind(&g.name, size, align, AllocKind::Static, false, None)?;
+            self.globals.insert(g.name.clone(), (p, g.ty.clone()));
+        }
+        // Predefined stream handles.
+        for stream in ["stderr", "stdout"] {
+            if !self.globals.contains_key(stream) {
+                let p = self.mem.allocate_kind(
+                    stream,
+                    16,
+                    16,
+                    AllocKind::Static,
+                    false,
+                    Some(&[0; 16]),
+                )?;
+                self.globals
+                    .insert(stream.to_string(), (p, Ty::ptr(Ty::Void)));
+            }
+        }
+        // Run global initialisers (in a pseudo-frame).
+        let mut frame = Frame {
+            vars: HashMap::new(),
+            to_kill: Vec::new(),
+        };
+        for g in &self.prog.globals {
+            // Zero-initialise statics first (C semantics for objects with
+            // static storage duration).
+            let (p, ty) = self.globals[&g.name].clone();
+            let size = types_size(&self.prog.types, &ty);
+            self.mem.memset(&p, 0, size)?;
+            if let Some(init) = &g.init {
+                self.run_init(&mut frame, &p, &ty, init)?;
+            }
+            if g.is_const {
+                let frozen = self.mem.freeze_readonly(&p)?;
+                self.globals.insert(g.name.clone(), (frozen, ty));
+            }
+        }
+        // Call main.
+        let main = &self.prog.funcs["main"];
+        match self.call_function(main, Vec::new())? {
+            Value::Int { v, .. } => Ok(v.value() as i64),
+            _ => Ok(0),
+        }
+    }
+
+    fn tick(&mut self) -> EResult<()> {
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            return Err(Stop::Limit("step limit exceeded".into()));
+        }
+        Ok(())
+    }
+
+    fn ub(&self, ub: Ub, detail: impl Into<String>) -> Stop {
+        Stop::Mem(MemError::ub(ub, detail))
+    }
+
+    // ── Values and conversions ───────────────────────────────────────────
+
+    /// Materialise an integer constant at a given type: capability-carrying
+    /// types get a NULL-derived capability with the value as address.
+    fn mk_int(&self, ity: IntTy, v: i128) -> IntVal<C> {
+        if ity.is_capability() {
+            IntVal::Cap {
+                signed: ity.signed(),
+                cap: C::null().with_address(v as u64),
+                prov: Provenance::Empty,
+            }
+        } else {
+            IntVal::Num(ity.wrap(v))
+        }
+    }
+
+    /// Convert an integer value between integer types (the runtime half of
+    /// `CastKind::IntToInt`).
+    fn convert_int(&self, v: &IntVal<C>, _from: IntTy, to: IntTy) -> IntVal<C> {
+        if to.is_capability() {
+            match v {
+                IntVal::Cap { cap, prov, .. } => IntVal::Cap {
+                    signed: to.signed(),
+                    cap: cap.clone(),
+                    prov: *prov,
+                },
+                IntVal::Num(n) => self.mk_int(to, *n),
+            }
+        } else {
+            IntVal::Num(to.wrap(v.value()))
+        }
+    }
+
+    /// Derive a capability-carrying arithmetic result (§3.3 option (c)):
+    /// the result address is set on the derivation-source capability; if
+    /// that makes it non-representable, the tag is cleared and — in the
+    /// abstract machine — the ghost state records the excursion.
+    fn derive_cap_result(&self, src: &IntVal<C>, ity: IntTy, addr: i128) -> IntVal<C> {
+        let addr = ity.wrap(addr) as u64;
+        let ghosted = match src.as_cap() {
+            Some(cap) => {
+                cap.tag() && !cap.is_representable(addr) && self.profile.mem.abstract_ub
+            }
+            None => false,
+        };
+        let mut out = src.derive_with_address(ity.signed(), addr);
+        if ghosted {
+            if let IntVal::Cap { cap, .. } = &mut out {
+                *cap = cap.with_ghost(cap.ghost().join(GhostState::UNSPECIFIED));
+            }
+        } else if let (IntVal::Cap { cap: out_cap, .. }, Some(src_cap)) =
+            (&mut out, src.as_cap())
+        {
+            // Ghost state propagates through derivation.
+            *out_cap = out_cap.with_ghost(src_cap.ghost());
+        }
+        out
+    }
+
+    // ── Memory access helpers ────────────────────────────────────────────
+
+    fn load_value(&mut self, p: &PtrVal<C>, ty: &Ty) -> EResult<Value<C>> {
+        match ty {
+            Ty::Int(ity) => {
+                let size = types_size(&self.prog.types, ty);
+                let v = self
+                    .mem
+                    .load_int(p, size, ity.signed(), ity.is_capability())?;
+                let v = match v {
+                    IntVal::Num(n) => IntVal::Num(ity.wrap(n)),
+                    cap => cap,
+                };
+                Ok(Value::Int { ity: *ity, v })
+            }
+            Ty::Float(fty) => {
+                let size = fty.size();
+                let bits = self.mem.load_int(p, size, false, false)?.value() as u64;
+                let v = match fty {
+                    FloatTy::F32 => f64::from(f32::from_bits(bits as u32)),
+                    FloatTy::F64 => f64::from_bits(bits),
+                };
+                Ok(Value::Float { fty: *fty, v })
+            }
+            Ty::Ptr { .. } => {
+                let v = self.mem.load_ptr(p)?;
+                Ok(Value::Ptr {
+                    ty: ty.clone(),
+                    v,
+                })
+            }
+            t => Err(Stop::Unsupported(format!("load of type {t}"))),
+        }
+    }
+
+    fn store_value(&mut self, p: &PtrVal<C>, ty: &Ty, v: &Value<C>) -> EResult<()> {
+        match (ty, v) {
+            (Ty::Int(_), Value::Int { v, .. }) => {
+                let size = types_size(&self.prog.types, ty);
+                if self.profile.opt.elide_identity_writes && !v.is_cap() {
+                    // Optimisation emulation (§3.5): skip stores that leave
+                    // memory unchanged — so they do not invalidate stored
+                    // capabilities.
+                    if let Ok(old) = self.mem.load_int(p, size, false, false) {
+                        if old.value() == IntVal::<C>::Num(v.value()).value() {
+                            return Ok(());
+                        }
+                    }
+                }
+                self.mem.store_int(p, size, v)?;
+                Ok(())
+            }
+            (Ty::Float(fty), Value::Float { v, .. }) => {
+                let (size, bits) = match fty {
+                    FloatTy::F32 => (4, u64::from((*v as f32).to_bits())),
+                    FloatTy::F64 => (8, v.to_bits()),
+                };
+                self.mem.store_int(p, size, &IntVal::Num(i128::from(bits)))?;
+                Ok(())
+            }
+            (Ty::Ptr { .. }, Value::Ptr { v, .. }) => {
+                self.mem.store_ptr(p, v)?;
+                Ok(())
+            }
+            (Ty::Ptr { .. }, Value::Int { v, .. }) => {
+                // Storing a capability-carrying integer into a pointer slot
+                // (via unions this cannot happen — union members are typed —
+                // but conversions can produce it transiently).
+                let ptr = self.mem.cast_int_to_ptr(v);
+                self.mem.store_ptr(p, &ptr)?;
+                Ok(())
+            }
+            (t, _) => Err(Stop::Unsupported(format!("store of type {t}"))),
+        }
+    }
+
+    /// §3.8 strict sub-object bounds: when enabled, taking the address of
+    /// (or decaying) a struct member or array element narrows the
+    /// capability to that sub-object's footprint. The paper's default (and
+    /// ours) leaves this off to keep the container-of idiom working.
+    fn maybe_narrow_subobject(&self, p: PtrVal<C>, lv: &TExpr, _res_ty: &Ty) -> PtrVal<C> {
+        if !self.profile.subobject_bounds || !self.profile.mem.capabilities {
+            return p;
+        }
+        if !matches!(lv.kind, TExprKind::LvMember(..)) {
+            return p;
+        }
+        let size = types_size(&self.prog.types, &lv.ty);
+        PtrVal::new(p.prov, p.cap.with_bounds(p.addr(), size))
+    }
+
+    fn intern_string(&mut self, s: &str) -> EResult<PtrVal<C>> {
+        if let Some(p) = self.strings.get(s) {
+            return Ok(p.clone());
+        }
+        let mut bytes = s.as_bytes().to_vec();
+        bytes.push(0);
+        let p = self.mem.allocate_kind(
+            "string-literal",
+            bytes.len() as u64,
+            1,
+            AllocKind::StringLiteral,
+            true,
+            Some(&bytes),
+        )?;
+        self.strings.insert(s.to_string(), p.clone());
+        Ok(p)
+    }
+
+    // ── Initialisers ─────────────────────────────────────────────────────
+
+    fn run_init(
+        &mut self,
+        frame: &mut Frame<C>,
+        p: &PtrVal<C>,
+        ty: &Ty,
+        init: &TInit,
+    ) -> EResult<()> {
+        match (ty, init) {
+            (_, TInit::Scalar(e)) => {
+                let v = self.eval(frame, e)?;
+                self.store_value(p, ty, &v)
+            }
+            (Ty::Array(elem, _), TInit::Str(s)) => {
+                let mut bytes = s.as_bytes().to_vec();
+                bytes.push(0);
+                for (i, b) in bytes.iter().enumerate() {
+                    let ep = self.mem.member_shift(p, i as u64 * types_size(&self.prog.types, elem));
+                    self.mem.store_int(&ep, 1, &IntVal::Num(i128::from(*b)))?;
+                }
+                Ok(())
+            }
+            (Ty::Array(elem, _), TInit::List(items)) => {
+                let esz = types_size(&self.prog.types, elem);
+                for (i, item) in items.iter().enumerate() {
+                    let ep = self.mem.member_shift(p, i as u64 * esz);
+                    self.run_init(frame, &ep, elem, item)?;
+                }
+                Ok(())
+            }
+            (Ty::Struct(id) | Ty::Union(id), TInit::List(items)) => {
+                let fields: Vec<(u64, Ty)> = self.prog.types.structs[id.0]
+                    .fields
+                    .iter()
+                    .map(|f| (f.offset, f.ty.clone()))
+                    .collect();
+                for (item, (off, fty)) in items.iter().zip(fields.iter()) {
+                    let fp = self.mem.member_shift(p, *off);
+                    self.run_init(frame, &fp, fty, item)?;
+                }
+                Ok(())
+            }
+            (t, _) => Err(Stop::Unsupported(format!("initialiser for type {t}"))),
+        }
+    }
+
+    // ── Statements ───────────────────────────────────────────────────────
+
+    fn exec_block(&mut self, frame: &mut Frame<C>, stmts: &[TStmt]) -> EResult<Flow<C>> {
+        for s in stmts {
+            match self.exec(frame, s)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec(&mut self, frame: &mut Frame<C>, s: &TStmt) -> EResult<Flow<C>> {
+        self.tick()?;
+        match s {
+            TStmt::Decl {
+                name,
+                ty,
+                is_const,
+                init,
+                ..
+            } => {
+                let size = types_size(&self.prog.types, ty);
+                let align = self.prog.types.align_of(ty);
+                let pretty = name.split('#').next().unwrap_or(name);
+                let p = self.mem.allocate_object(pretty, size, align, false, None)?;
+                frame.to_kill.push(p.clone());
+                if let Some(init) = init {
+                    if matches!(init, TInit::List(_) | TInit::Str(_)) {
+                        // Aggregates with initialisers: remaining members
+                        // are zero-initialised.
+                        self.mem.memset(&p, 0, size)?;
+                    }
+                    self.run_init(frame, &p, ty, init)?;
+                }
+                let p = if *is_const {
+                    self.mem.freeze_readonly(&p)?
+                } else {
+                    p
+                };
+                frame.vars.insert(name.clone(), (p, ty.clone()));
+                Ok(Flow::Normal)
+            }
+            TStmt::Expr(e) => {
+                self.eval(frame, e)?;
+                Ok(Flow::Normal)
+            }
+            TStmt::Block(body) => self.exec_block(frame, body),
+            TStmt::If(c, t, e) => {
+                let cv = self.eval(frame, c)?;
+                if cv.truthy() {
+                    self.exec(frame, t)
+                } else if let Some(e) = e {
+                    self.exec(frame, e)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            TStmt::While(c, body) => loop {
+                let cv = self.eval(frame, c)?;
+                if !cv.truthy() {
+                    return Ok(Flow::Normal);
+                }
+                match self.exec(frame, body)? {
+                    Flow::Break => return Ok(Flow::Normal),
+                    Flow::Return(v) => return Ok(Flow::Return(v)),
+                    Flow::Normal | Flow::Continue => {}
+                }
+            },
+            TStmt::DoWhile(body, c) => loop {
+                match self.exec(frame, body)? {
+                    Flow::Break => return Ok(Flow::Normal),
+                    Flow::Return(v) => return Ok(Flow::Return(v)),
+                    Flow::Normal | Flow::Continue => {}
+                }
+                let cv = self.eval(frame, c)?;
+                if !cv.truthy() {
+                    return Ok(Flow::Normal);
+                }
+            },
+            TStmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(init) = init {
+                    self.exec(frame, init)?;
+                }
+                loop {
+                    if let Some(c) = cond {
+                        if !self.eval(frame, c)?.truthy() {
+                            return Ok(Flow::Normal);
+                        }
+                    }
+                    match self.exec(frame, body)? {
+                        Flow::Break => return Ok(Flow::Normal),
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                    if let Some(s) = step {
+                        self.eval(frame, s)?;
+                    }
+                }
+            }
+            TStmt::Switch(scrut, cases) => {
+                let v = self.eval(frame, scrut)?;
+                let n = v.as_int().map(IntVal::value).unwrap_or(0);
+                let mut start = cases.iter().position(|(val, _)| *val == Some(n));
+                if start.is_none() {
+                    start = cases.iter().position(|(val, _)| val.is_none());
+                }
+                if let Some(start) = start {
+                    for (_, body) in &cases[start..] {
+                        match self.exec_block(frame, body)? {
+                            Flow::Break => return Ok(Flow::Normal),
+                            Flow::Return(v) => return Ok(Flow::Return(v)),
+                            Flow::Continue => return Ok(Flow::Continue),
+                            Flow::Normal => {}
+                        }
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            TStmt::Return(e) => {
+                let v = match e {
+                    Some(e) => self.eval(frame, e)?,
+                    None => Value::Void,
+                };
+                Ok(Flow::Return(v))
+            }
+            TStmt::Break => Ok(Flow::Break),
+            TStmt::Continue => Ok(Flow::Continue),
+            TStmt::OptMemcpy { dst, src, n } => {
+                let d = self.eval(frame, dst)?;
+                let s = self.eval(frame, src)?;
+                let n = self.eval(frame, n)?;
+                let (d, s) = match (d.as_ptr(), s.as_ptr()) {
+                    (Some(d), Some(s)) => (d.clone(), s.clone()),
+                    _ => return Err(Stop::Unsupported("OptMemcpy operands".into())),
+                };
+                let n = n.as_int().map(IntVal::value).unwrap_or(0) as u64;
+                self.mem.memcpy(&d, &s, n)?;
+                Ok(Flow::Normal)
+            }
+            TStmt::Empty => Ok(Flow::Normal),
+        }
+    }
+
+    // ── Expressions ──────────────────────────────────────────────────────
+
+    fn eval_lvalue(&mut self, frame: &mut Frame<C>, e: &TExpr) -> EResult<(PtrVal<C>, Ty)> {
+        match &e.kind {
+            TExprKind::LvVar(name) => {
+                if let Some((p, ty)) = frame.vars.get(name) {
+                    return Ok((p.clone(), ty.clone()));
+                }
+                if let Some((p, ty)) = self.globals.get(name) {
+                    return Ok((p.clone(), ty.clone()));
+                }
+                Err(Stop::Unsupported(format!("unbound variable `{name}`")))
+            }
+            TExprKind::LvDeref(p) => {
+                let v = self.eval(frame, p)?;
+                match v {
+                    Value::Ptr { v, .. } => Ok((v, e.ty.clone())),
+                    Value::Int { v, .. } => {
+                        let p = self.mem.cast_int_to_ptr(&v);
+                        Ok((p, e.ty.clone()))
+                    }
+                    Value::Float { .. } | Value::Void => {
+                        Err(Stop::Unsupported("deref of non-pointer".into()))
+                    }
+                }
+            }
+            TExprKind::LvMember(base, off) => {
+                let (p, _) = self.eval_lvalue(frame, base)?;
+                Ok((self.mem.member_shift(&p, *off), e.ty.clone()))
+            }
+            _ => Err(Stop::Unsupported("expected lvalue".into())),
+        }
+    }
+
+    fn eval(&mut self, frame: &mut Frame<C>, e: &TExpr) -> EResult<Value<C>> {
+        self.tick()?;
+        match &e.kind {
+            TExprKind::ConstInt(v) => {
+                let ity = e.ty.as_int().unwrap_or(IntTy::Int);
+                Ok(Value::Int {
+                    ity,
+                    v: self.mk_int(ity, *v),
+                })
+            }
+            TExprKind::ConstFloat(v) => Ok(Value::Float {
+                fty: e.ty.as_float().unwrap_or(FloatTy::F64),
+                v: *v,
+            }),
+            TExprKind::StrLit(s) => {
+                let p = self.intern_string(s)?;
+                Ok(Value::Ptr {
+                    ty: e.ty.clone(),
+                    v: p,
+                })
+            }
+            TExprKind::LvVar(_) | TExprKind::LvDeref(_) | TExprKind::LvMember(..) => {
+                // Bare lvalue in value position should not occur (typeck
+                // inserts Load), but evaluate to its address for robustness.
+                let (p, _) = self.eval_lvalue(frame, e)?;
+                Ok(Value::Ptr {
+                    ty: Ty::ptr(e.ty.clone()),
+                    v: p,
+                })
+            }
+            TExprKind::Load(lv) => {
+                let (p, ty) = self.eval_lvalue(frame, lv)?;
+                self.load_value(&p, &ty)
+            }
+            TExprKind::AddrOf(lv) => {
+                let (p, _) = self.eval_lvalue(frame, lv)?;
+                let p = self.maybe_narrow_subobject(p, lv, &e.ty);
+                Ok(Value::Ptr {
+                    ty: e.ty.clone(),
+                    v: p,
+                })
+            }
+            TExprKind::Decay(lv) => {
+                let (p, _) = self.eval_lvalue(frame, lv)?;
+                let p = self.maybe_narrow_subobject(p, lv, &e.ty);
+                Ok(Value::Ptr {
+                    ty: e.ty.clone(),
+                    v: p,
+                })
+            }
+            TExprKind::FuncAddr(name) => {
+                let p = self
+                    .func_ptrs
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| Stop::Unsupported(format!("unknown function `{name}`")))?;
+                Ok(Value::Ptr {
+                    ty: e.ty.clone(),
+                    v: p,
+                })
+            }
+            TExprKind::Binary {
+                op,
+                lhs,
+                rhs,
+                derive,
+            } => {
+                let lv = self.eval(frame, lhs)?;
+                let rv = self.eval(frame, rhs)?;
+                if lv.as_float().is_some() || rv.as_float().is_some() {
+                    return self.binary_float(*op, &lv, &rv, &e.ty);
+                }
+                self.binary_int(*op, &lv, &rv, e.ty.as_int().unwrap_or(IntTy::Int), *derive)
+            }
+            TExprKind::Logical { and, lhs, rhs } => {
+                let l = self.eval(frame, lhs)?.truthy();
+                let v = if *and {
+                    l && self.eval(frame, rhs)?.truthy()
+                } else {
+                    l || self.eval(frame, rhs)?.truthy()
+                };
+                Ok(Value::Int {
+                    ity: IntTy::Int,
+                    v: IntVal::Num(i128::from(v)),
+                })
+            }
+            TExprKind::Unary(op, a) => {
+                let av = self.eval(frame, a)?;
+                self.unary_int(*op, &av, e.ty.as_int().unwrap_or(IntTy::Int))
+            }
+            TExprKind::PtrAdd {
+                ptr,
+                idx,
+                elem,
+                neg,
+            } => {
+                let pv = self.eval(frame, ptr)?;
+                let iv = self.eval(frame, idx)?;
+                let p = pv
+                    .as_ptr()
+                    .ok_or_else(|| Stop::Unsupported("pointer arithmetic on non-pointer".into()))?;
+                let mut i = iv.as_int().map(IntVal::value).unwrap_or(0);
+                if *neg {
+                    i = -i;
+                }
+                let q = self.mem.array_shift(p, *elem, i as i64)?;
+                Ok(Value::Ptr {
+                    ty: e.ty.clone(),
+                    v: q,
+                })
+            }
+            TExprKind::PtrDiff { a, b, elem } => {
+                let av = self.eval(frame, a)?;
+                let bv = self.eval(frame, b)?;
+                let (ap, bp) = match (av.as_ptr(), bv.as_ptr()) {
+                    (Some(a), Some(b)) => (a, b),
+                    _ => return Err(Stop::Unsupported("pointer difference operands".into())),
+                };
+                let d = self.mem.ptr_diff(ap, bp, *elem)?;
+                Ok(Value::Int {
+                    ity: IntTy::Long,
+                    v: IntVal::Num(i128::from(d)),
+                })
+            }
+            TExprKind::PtrCmp { op, a, b } => {
+                let av = self.eval(frame, a)?;
+                let bv = self.eval(frame, b)?;
+                let (ap, bp) = match (av.as_ptr(), bv.as_ptr()) {
+                    (Some(a), Some(b)) => (a.clone(), b.clone()),
+                    _ => return Err(Stop::Unsupported("pointer comparison operands".into())),
+                };
+                let r = match op {
+                    BinOp::Eq => self.mem.ptr_eq(&ap, &bp),
+                    BinOp::Ne => !self.mem.ptr_eq(&ap, &bp),
+                    _ => {
+                        let ord = self.mem.ptr_rel_cmp(&ap, &bp)?;
+                        match op {
+                            BinOp::Lt => ord == std::cmp::Ordering::Less,
+                            BinOp::Le => ord != std::cmp::Ordering::Greater,
+                            BinOp::Gt => ord == std::cmp::Ordering::Greater,
+                            BinOp::Ge => ord != std::cmp::Ordering::Less,
+                            _ => unreachable!("comparison op"),
+                        }
+                    }
+                };
+                Ok(Value::Int {
+                    ity: IntTy::Int,
+                    v: IntVal::Num(i128::from(r)),
+                })
+            }
+            TExprKind::Cast { kind, arg } => self.eval_cast(frame, e, *kind, arg),
+            TExprKind::Assign { lv, rhs } => {
+                let (p, ty) = self.eval_lvalue(frame, lv)?;
+                if matches!(ty, Ty::Struct(_) | Ty::Union(_) | Ty::Array(..)) {
+                    // Aggregate assignment: bytewise copy (preserving
+                    // capabilities like memcpy).
+                    if let TExprKind::Load(src_lv) = &rhs.kind {
+                        let (src, _) = self.eval_lvalue(frame, src_lv)?;
+                        let n = types_size(&self.prog.types, &ty);
+                        self.mem.memcpy(&p, &src, n)?;
+                        return Ok(Value::Void);
+                    }
+                    return Err(Stop::Unsupported("aggregate assignment".into()));
+                }
+                let v = self.eval(frame, rhs)?;
+                self.store_value(&p, &ty, &v)?;
+                Ok(v)
+            }
+            TExprKind::AssignOp {
+                lv,
+                op,
+                rhs,
+                common,
+                derive,
+            } => {
+                let (p, ty) = self.eval_lvalue(frame, lv)?;
+                if let Some(common_f) = common.as_float() {
+                    let cur = self.load_value(&p, &ty)?;
+                    let cur_f = match &cur {
+                        Value::Float { v, .. } => *v,
+                        Value::Int { v, .. } => v.value() as f64,
+                        _ => return Err(Stop::Unsupported("compound float target".into())),
+                    };
+                    let rv = self.eval(frame, rhs)?;
+                    let res = self.binary_float(
+                        *op,
+                        &Value::Float { fty: common_f, v: cur_f },
+                        &rv,
+                        common,
+                    )?;
+                    let res_f = res.as_float().expect("float result");
+                    let out = match &ty {
+                        Ty::Float(fty) => Value::Float {
+                            fty: *fty,
+                            v: if *fty == FloatTy::F32 {
+                                f64::from(res_f as f32)
+                            } else {
+                                res_f
+                            },
+                        },
+                        Ty::Int(it) => {
+                            let t = res_f.trunc();
+                            if !t.is_finite() || t < it.min() as f64 || t > it.max() as f64 {
+                                return Err(
+                                    self.ub(Ub::SignedOverflow, "float-to-int out of range")
+                                );
+                            }
+                            Value::Int { ity: *it, v: self.mk_int(*it, t as i128) }
+                        }
+                        t => return Err(Stop::Unsupported(format!("compound target {t}"))),
+                    };
+                    self.store_value(&p, &ty, &out)?;
+                    return Ok(out);
+                }
+                let lt = ty.as_int().ok_or_else(|| {
+                    Stop::Unsupported("compound assignment on non-integer".into())
+                })?;
+                let ct = common.as_int().expect("common type is integer");
+                let cur = match self.load_value(&p, &ty)? {
+                    Value::Int { v, .. } => v,
+                    _ => return Err(Stop::Unsupported("compound assignment load".into())),
+                };
+                let cur_c = self.convert_int(&cur, lt, ct);
+                let rv = self.eval(frame, rhs)?;
+                let r = rv
+                    .as_int()
+                    .cloned()
+                    .ok_or_else(|| Stop::Unsupported("compound assignment rhs".into()))?;
+                let res = self.binary_int(
+                    *op,
+                    &Value::Int { ity: ct, v: cur_c },
+                    &Value::Int { ity: ct, v: r },
+                    ct,
+                    *derive,
+                )?;
+                let res_v = match &res {
+                    Value::Int { v, .. } => self.convert_int(v, ct, lt),
+                    _ => return Err(Stop::Unsupported("compound assignment result".into())),
+                };
+                let out = Value::Int { ity: lt, v: res_v };
+                self.store_value(&p, &ty, &out)?;
+                Ok(out)
+            }
+            TExprKind::PtrAssignAdd { lv, idx, elem, neg } => {
+                let (p, ty) = self.eval_lvalue(frame, lv)?;
+                let cur = match self.load_value(&p, &ty)? {
+                    Value::Ptr { v, .. } => v,
+                    _ => return Err(Stop::Unsupported("pointer compound assignment".into())),
+                };
+                let iv = self.eval(frame, idx)?;
+                let mut i = iv.as_int().map(IntVal::value).unwrap_or(0);
+                if *neg {
+                    i = -i;
+                }
+                let q = self.mem.array_shift(&cur, *elem, i as i64)?;
+                let out = Value::Ptr {
+                    ty: ty.clone(),
+                    v: q,
+                };
+                self.store_value(&p, &ty, &out)?;
+                Ok(out)
+            }
+            TExprKind::IncDec {
+                lv,
+                inc,
+                prefix,
+                elem,
+            } => {
+                let (p, ty) = self.eval_lvalue(frame, lv)?;
+                let old = self.load_value(&p, &ty)?;
+                let new = match (&old, *elem) {
+                    (Value::Ptr { ty: pty, v }, elem) if elem > 0 => {
+                        let q = self.mem.array_shift(v, elem, if *inc { 1 } else { -1 })?;
+                        Value::Ptr {
+                            ty: pty.clone(),
+                            v: q,
+                        }
+                    }
+                    (Value::Int { ity, v }, _) => {
+                        let delta = if *inc { 1 } else { -1 };
+                        let raw = v.value() + delta;
+                        if ity.signed() && !ity.is_capability() && !ity.fits(raw) {
+                            return Err(self.ub(Ub::SignedOverflow, "increment overflow"));
+                        }
+                        let nv = if ity.is_capability() {
+                            self.derive_cap_result(v, *ity, raw)
+                        } else {
+                            IntVal::Num(ity.wrap(raw))
+                        };
+                        Value::Int { ity: *ity, v: nv }
+                    }
+                    _ => return Err(Stop::Unsupported("increment target".into())),
+                };
+                self.store_value(&p, &ty, &new)?;
+                Ok(if *prefix { new } else { old })
+            }
+            TExprKind::Call { callee, args } => self.eval_call(frame, callee, args),
+            TExprKind::Cond { c, t, f } => {
+                if self.eval(frame, c)?.truthy() {
+                    self.eval(frame, t)
+                } else {
+                    self.eval(frame, f)
+                }
+            }
+            TExprKind::Comma(a, b) => {
+                self.eval(frame, a)?;
+                self.eval(frame, b)
+            }
+        }
+    }
+
+    fn eval_cast(
+        &mut self,
+        frame: &mut Frame<C>,
+        e: &TExpr,
+        kind: CastKind,
+        arg: &TExpr,
+    ) -> EResult<Value<C>> {
+        let av = self.eval(frame, arg)?;
+        match kind {
+            CastKind::ToVoid => Ok(Value::Void),
+            CastKind::ToBool => Ok(Value::Int {
+                ity: IntTy::Bool,
+                v: IntVal::Num(i128::from(av.truthy())),
+            }),
+            CastKind::IntToInt => {
+                let to = e.ty.as_int().expect("int target");
+                let from = arg.ty.as_int().expect("int source");
+                let v = av
+                    .as_int()
+                    .cloned()
+                    .ok_or_else(|| Stop::Unsupported("int cast operand".into()))?;
+                Ok(Value::Int {
+                    ity: to,
+                    v: self.convert_int(&v, from, to),
+                })
+            }
+            CastKind::PtrToInt => {
+                let to = e.ty.as_int().expect("int target");
+                let p = av
+                    .as_ptr()
+                    .cloned()
+                    .ok_or_else(|| Stop::Unsupported("pointer cast operand".into()))?;
+                let size = types_size(&self.prog.types, &e.ty);
+                let v = self
+                    .mem
+                    .cast_ptr_to_int(&p, to.is_capability(), to.signed(), size);
+                Ok(Value::Int { ity: to, v })
+            }
+            CastKind::IntToPtr => {
+                let v = av
+                    .as_int()
+                    .cloned()
+                    .ok_or_else(|| Stop::Unsupported("int-to-pointer operand".into()))?;
+                let p = self.mem.cast_int_to_ptr(&v);
+                Ok(Value::Ptr {
+                    ty: e.ty.clone(),
+                    v: p,
+                })
+            }
+            CastKind::IntToFloat => {
+                let fty = e.ty.as_float().expect("float target");
+                let n = av
+                    .as_int()
+                    .map(IntVal::value)
+                    .ok_or_else(|| Stop::Unsupported("int-to-float operand".into()))?;
+                let v = n as f64;
+                let v = if fty == FloatTy::F32 { f64::from(v as f32) } else { v };
+                Ok(Value::Float { fty, v })
+            }
+            CastKind::FloatToInt => {
+                let to = e.ty.as_int().expect("int target");
+                let f = av
+                    .as_float()
+                    .ok_or_else(|| Stop::Unsupported("float-to-int operand".into()))?;
+                let t = f.trunc();
+                // ISO 6.3.1.4p1: UB if the truncated value cannot be
+                // represented in the target type.
+                if !t.is_finite() || t < to.min() as f64 || t > to.max() as f64 {
+                    return Err(self.ub(Ub::SignedOverflow, "float-to-int out of range"));
+                }
+                Ok(Value::Int {
+                    ity: to,
+                    v: self.mk_int(to, t as i128),
+                })
+            }
+            CastKind::FloatToFloat => {
+                let fty = e.ty.as_float().expect("float target");
+                let f = av
+                    .as_float()
+                    .ok_or_else(|| Stop::Unsupported("float cast operand".into()))?;
+                let v = if fty == FloatTy::F32 { f64::from(f as f32) } else { f };
+                Ok(Value::Float { fty, v })
+            }
+            CastKind::PtrToPtr => {
+                let p = av
+                    .as_ptr()
+                    .cloned()
+                    .ok_or_else(|| Stop::Unsupported("pointer cast operand".into()))?;
+                // §3.9: const-changing casts are no-ops on the capability.
+                Ok(Value::Ptr {
+                    ty: e.ty.clone(),
+                    v: p,
+                })
+            }
+        }
+    }
+
+    fn binary_int(
+        &mut self,
+        op: BinOp,
+        l: &Value<C>,
+        r: &Value<C>,
+        ity: IntTy,
+        derive: DeriveFrom,
+    ) -> EResult<Value<C>> {
+        let (lv, rv) = match (l.as_int(), r.as_int()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return Err(Stop::Unsupported("integer operation on non-integers".into())),
+        };
+        let a = lv.value();
+        let b = rv.value();
+        if op.is_comparison() {
+            // §3.6: address-only comparison for capability-carrying values.
+            let res = match op {
+                BinOp::Eq => a == b,
+                BinOp::Ne => a != b,
+                BinOp::Lt => a < b,
+                BinOp::Le => a <= b,
+                BinOp::Gt => a > b,
+                BinOp::Ge => a >= b,
+                _ => unreachable!("comparison"),
+            };
+            return Ok(Value::Int {
+                ity: IntTy::Int,
+                v: IntVal::Num(i128::from(res)),
+            });
+        }
+        let bits = ity.value_bits();
+        let raw: i128 = match op {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a
+                .checked_mul(b)
+                .ok_or_else(|| self.ub(Ub::SignedOverflow, "multiplication overflow"))?,
+            BinOp::Div => {
+                if b == 0 {
+                    return Err(self.ub(Ub::DivisionByZero, "division by zero"));
+                }
+                if ity.signed() && a == ity.min() && b == -1 {
+                    return Err(self.ub(Ub::SignedOverflow, "INT_MIN / -1"));
+                }
+                a / b
+            }
+            BinOp::Rem => {
+                if b == 0 {
+                    return Err(self.ub(Ub::DivisionByZero, "remainder by zero"));
+                }
+                if ity.signed() && a == ity.min() && b == -1 {
+                    return Err(self.ub(Ub::SignedOverflow, "INT_MIN % -1"));
+                }
+                a % b
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl | BinOp::Shr => {
+                if b < 0 || b >= i128::from(bits) {
+                    return Err(self.ub(Ub::ShiftOutOfRange, format!("shift by {b}")));
+                }
+                if op == BinOp::Shl {
+                    let v = a << b;
+                    if ity.signed() && !ity.fits(v) {
+                        return Err(self.ub(Ub::SignedOverflow, "left shift overflow"));
+                    }
+                    v
+                } else if ity.signed() {
+                    a >> b
+                } else {
+                    ((a as u128 & (u128::MAX >> (128 - bits))) >> b) as i128
+                }
+            }
+            _ => unreachable!("handled above"),
+        };
+        // Signed overflow is UB for +,- too (checked post-hoc on the exact
+        // value); unsigned arithmetic wraps.
+        if ity.signed() && !ity.is_capability() && matches!(op, BinOp::Add | BinOp::Sub) && !ity.fits(raw)
+        {
+            return Err(self.ub(Ub::SignedOverflow, "arithmetic overflow"));
+        }
+        let v = if ity.is_capability() {
+            let src = match derive {
+                DeriveFrom::Left => lv,
+                DeriveFrom::Right => rv,
+            };
+            self.derive_cap_result(src, ity, raw)
+        } else {
+            IntVal::Num(ity.wrap(raw))
+        };
+        Ok(Value::Int { ity, v })
+    }
+
+    fn binary_float(
+        &mut self,
+        op: BinOp,
+        l: &Value<C>,
+        r: &Value<C>,
+        res_ty: &Ty,
+    ) -> EResult<Value<C>> {
+        let (a, b) = match (l.as_float(), r.as_float()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return Err(Stop::Unsupported("mixed float operands".into())),
+        };
+        if op.is_comparison() {
+            let res = match op {
+                BinOp::Eq => a == b,
+                BinOp::Ne => a != b,
+                BinOp::Lt => a < b,
+                BinOp::Le => a <= b,
+                BinOp::Gt => a > b,
+                BinOp::Ge => a >= b,
+                _ => unreachable!("comparison"),
+            };
+            return Ok(Value::Int {
+                ity: IntTy::Int,
+                v: IntVal::Num(i128::from(res)),
+            });
+        }
+        let fty = res_ty.as_float().unwrap_or(FloatTy::F64);
+        let v = match op {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => a / b, // IEEE: x/0 is ±inf/NaN, not UB
+            _ => return Err(Stop::Unsupported("float operator".into())),
+        };
+        let v = if fty == FloatTy::F32 { f64::from(v as f32) } else { v };
+        Ok(Value::Float { fty, v })
+    }
+
+    fn unary_int(&mut self, op: UnOp, a: &Value<C>, ity: IntTy) -> EResult<Value<C>> {
+        match op {
+            UnOp::LogNot => Ok(Value::Int {
+                ity: IntTy::Int,
+                v: IntVal::Num(i128::from(!a.truthy())),
+            }),
+            UnOp::Plus => Ok(a.clone()),
+            UnOp::Neg if a.as_float().is_some() => {
+                let v = a.as_float().expect("float");
+                match a {
+                    Value::Float { fty, .. } => Ok(Value::Float { fty: *fty, v: -v }),
+                    _ => unreachable!("checked above"),
+                }
+            }
+            UnOp::Neg | UnOp::BitNot => {
+                let v = a
+                    .as_int()
+                    .ok_or_else(|| Stop::Unsupported("unary arithmetic operand".into()))?;
+                let raw = if op == UnOp::Neg { -v.value() } else { !v.value() };
+                if ity.signed() && !ity.is_capability() && op == UnOp::Neg && !ity.fits(raw) {
+                    return Err(self.ub(Ub::SignedOverflow, "negation overflow"));
+                }
+                let out = if ity.is_capability() {
+                    self.derive_cap_result(v, ity, raw)
+                } else {
+                    IntVal::Num(ity.wrap(raw))
+                };
+                Ok(Value::Int { ity, v: out })
+            }
+        }
+    }
+
+    // ── Calls ────────────────────────────────────────────────────────────
+
+    fn eval_call(
+        &mut self,
+        frame: &mut Frame<C>,
+        callee: &Callee,
+        args: &[TExpr],
+    ) -> EResult<Value<C>> {
+        let mut argv = Vec::with_capacity(args.len());
+        for a in args {
+            argv.push((self.eval(frame, a)?, a.ty.clone()));
+        }
+        match callee {
+            Callee::Direct(name) => {
+                let f = self
+                    .prog
+                    .funcs
+                    .get(name)
+                    .ok_or_else(|| Stop::Unsupported(format!("call of undefined `{name}`")))?;
+                self.call_function(f, argv)
+            }
+            Callee::Indirect(fe) => {
+                let fv = self.eval(frame, fe)?;
+                let p = fv
+                    .as_ptr()
+                    .ok_or_else(|| Stop::Unsupported("indirect call operand".into()))?;
+                if self.profile.mem.capabilities {
+                    if !p.cap.tag() {
+                        return Err(Stop::Mem(MemError::ub(
+                            Ub::CheriInvalidCap,
+                            "call via untagged function pointer",
+                        )));
+                    }
+                    if !p.cap.perms().contains(Perms::EXECUTE) {
+                        return Err(Stop::Mem(MemError::ub(
+                            Ub::CheriInsufficientPermissions,
+                            "call via non-executable capability",
+                        )));
+                    }
+                }
+                let name = self
+                    .addr_to_func
+                    .get(&p.addr())
+                    .cloned()
+                    .ok_or_else(|| Stop::Unsupported("indirect call to non-function".into()))?;
+                let f = self
+                    .prog
+                    .funcs
+                    .get(&name)
+                    .ok_or_else(|| Stop::Unsupported(format!("call of undefined `{name}`")))?;
+                self.call_function(f, argv)
+            }
+            Callee::Builtin(b) => self.eval_builtin(*b, argv),
+        }
+    }
+
+    fn call_function(
+        &mut self,
+        f: &TFunc,
+        args: Vec<(Value<C>, Ty)>,
+    ) -> EResult<Value<C>> {
+        self.call_depth += 1;
+        if self.call_depth > 256 {
+            self.call_depth -= 1;
+            return Err(Stop::Limit("call depth exceeded".into()));
+        }
+        let mut frame = Frame {
+            vars: HashMap::new(),
+            to_kill: Vec::new(),
+        };
+        for ((name, ty), (v, _)) in f.params.iter().zip(args) {
+            let size = types_size(&self.prog.types, ty);
+            let align = self.prog.types.align_of(ty);
+            let pretty = name.split('#').next().unwrap_or(name);
+            let p = self.mem.allocate_object(pretty, size, align, false, None)?;
+            self.store_value(&p, ty, &v)?;
+            frame.to_kill.push(p.clone());
+            frame.vars.insert(name.clone(), (p, ty.clone()));
+        }
+        let flow = self.exec_block(&mut frame, &f.body);
+        // End the lifetime of the locals regardless of how the body exited.
+        for p in frame.to_kill.drain(..).rev() {
+            self.mem.kill(&p, false)?;
+        }
+        self.call_depth -= 1;
+        match flow? {
+            Flow::Return(v) => Ok(v),
+            _ if f.name == "main" => Ok(Value::Int {
+                ity: IntTy::Int,
+                v: IntVal::Num(0),
+            }),
+            _ => Ok(Value::Void),
+        }
+    }
+
+    // ── Builtins and intrinsics ──────────────────────────────────────────
+
+    #[allow(clippy::too_many_lines)]
+    fn eval_builtin(
+        &mut self,
+        b: Builtin,
+        mut args: Vec<(Value<C>, Ty)>,
+    ) -> EResult<Value<C>> {
+        use Builtin::*;
+        let int_result = |ity: IntTy, v: i128| -> EResult<Value<C>> {
+            Ok(Value::Int {
+                ity,
+                v: IntVal::Num(ity.wrap(v)),
+            })
+        };
+        // Capability argument accessor: pointer or (u)intptr_t.
+        let cap_of = |v: &Value<C>| -> EResult<C> {
+            v.cap()
+                .cloned()
+                .ok_or_else(|| Stop::Unsupported("capability argument expected".into()))
+        };
+        // Rewrap a derived capability at the argument's type (the
+        // polymorphic return of §4.5).
+        let rewrap = |this: &mut Self, orig: &Value<C>, cap: C| -> Value<C> {
+            match orig {
+                Value::Ptr { ty, v } => Value::Ptr {
+                    ty: ty.clone(),
+                    v: PtrVal::new(v.prov, cap),
+                },
+                Value::Int { ity, v } => Value::Int {
+                    ity: *ity,
+                    v: IntVal::Cap {
+                        signed: ity.signed(),
+                        cap,
+                        prov: v.prov(),
+                    },
+                },
+                Value::Float { .. } | Value::Void => {
+                    let _ = this;
+                    Value::Void
+                }
+            }
+        };
+        match b {
+            Printf | Fprintf => {
+                let skip = usize::from(b == Fprintf);
+                let fmt_ptr = args
+                    .get(skip)
+                    .and_then(|(v, _)| v.as_ptr())
+                    .cloned()
+                    .ok_or_else(|| Stop::Unsupported("format string expected".into()))?;
+                let fmt = self.read_c_string(&fmt_ptr)?;
+                let rendered = self.format(&fmt, &args[skip + 1..])?;
+                if b == Fprintf {
+                    self.stderr.push_str(&rendered);
+                } else {
+                    self.stdout.push_str(&rendered);
+                }
+                int_result(IntTy::Int, rendered.len() as i128)
+            }
+            Assert => {
+                let (v, _) = &args[0];
+                if v.truthy() {
+                    Ok(Value::Void)
+                } else {
+                    Err(Stop::Assert("assertion failed".into()))
+                }
+            }
+            Abort => Err(Stop::Abort),
+            Exit => {
+                let code = args[0].0.as_int().map(IntVal::value).unwrap_or(0);
+                Err(Stop::Exit(code as i64))
+            }
+            Malloc => {
+                let n = args[0].0.as_int().map(IntVal::value).unwrap_or(0) as u64;
+                let p = self.mem.allocate_region(n, 16)?;
+                Ok(Value::Ptr {
+                    ty: Ty::ptr(Ty::Void),
+                    v: p,
+                })
+            }
+            Calloc => {
+                let n = args[0].0.as_int().map(IntVal::value).unwrap_or(0) as u64;
+                let sz = args[1].0.as_int().map(IntVal::value).unwrap_or(0) as u64;
+                let total = n.checked_mul(sz).ok_or_else(|| {
+                    Stop::Mem(MemError::Fail("calloc size overflow".into()))
+                })?;
+                let p = self.mem.allocate_region(total, 16)?;
+                self.mem.memset(&p, 0, total)?;
+                Ok(Value::Ptr {
+                    ty: Ty::ptr(Ty::Void),
+                    v: p,
+                })
+            }
+            Free => {
+                let p = args[0]
+                    .0
+                    .as_ptr()
+                    .cloned()
+                    .ok_or_else(|| Stop::Unsupported("free of non-pointer".into()))?;
+                self.mem.kill(&p, true)?;
+                Ok(Value::Void)
+            }
+            Realloc => {
+                let p = args[0]
+                    .0
+                    .as_ptr()
+                    .cloned()
+                    .ok_or_else(|| Stop::Unsupported("realloc of non-pointer".into()))?;
+                let n = args[1].0.as_int().map(IntVal::value).unwrap_or(0) as u64;
+                let q = self.mem.reallocate(&p, n)?;
+                Ok(Value::Ptr {
+                    ty: Ty::ptr(Ty::Void),
+                    v: q,
+                })
+            }
+            Memcpy | Memmove => {
+                let d = args[0].0.as_ptr().cloned();
+                let s = args[1].0.as_ptr().cloned();
+                let n = args[2].0.as_int().map(IntVal::value).unwrap_or(0) as u64;
+                let (d, s) = match (d, s) {
+                    (Some(d), Some(s)) => (d, s),
+                    _ => return Err(Stop::Unsupported("memcpy operands".into())),
+                };
+                self.mem.memcpy(&d, &s, n)?;
+                Ok(Value::Ptr {
+                    ty: Ty::ptr(Ty::Void),
+                    v: d,
+                })
+            }
+            Memset => {
+                let d = args[0]
+                    .0
+                    .as_ptr()
+                    .cloned()
+                    .ok_or_else(|| Stop::Unsupported("memset operand".into()))?;
+                let c = args[1].0.as_int().map(IntVal::value).unwrap_or(0) as u8;
+                let n = args[2].0.as_int().map(IntVal::value).unwrap_or(0) as u64;
+                self.mem.memset(&d, c, n)?;
+                Ok(Value::Ptr {
+                    ty: Ty::ptr(Ty::Void),
+                    v: d,
+                })
+            }
+            Memcmp => {
+                let a = args[0].0.as_ptr().cloned();
+                let bptr = args[1].0.as_ptr().cloned();
+                let n = args[2].0.as_int().map(IntVal::value).unwrap_or(0) as u64;
+                let (a, bp) = match (a, bptr) {
+                    (Some(a), Some(b)) => (a, b),
+                    _ => return Err(Stop::Unsupported("memcmp operands".into())),
+                };
+                let r = self.mem.memcmp(&a, &bp, n)?;
+                int_result(IntTy::Int, i128::from(r))
+            }
+            Strlen => {
+                let p = args[0]
+                    .0
+                    .as_ptr()
+                    .cloned()
+                    .ok_or_else(|| Stop::Unsupported("strlen operand".into()))?;
+                let s = self.read_c_string(&p)?;
+                int_result(IntTy::ULong, s.len() as i128)
+            }
+            Strcmp => {
+                let a = args[0].0.as_ptr().cloned();
+                let bptr = args[1].0.as_ptr().cloned();
+                let (a, bp) = match (a, bptr) {
+                    (Some(a), Some(b)) => (a, b),
+                    _ => return Err(Stop::Unsupported("strcmp operands".into())),
+                };
+                let sa = self.read_c_string(&a)?;
+                let sb = self.read_c_string(&bp)?;
+                int_result(IntTy::Int, i128::from(match sa.cmp(&sb) {
+                    std::cmp::Ordering::Less => -1,
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => 1,
+                }))
+            }
+            Strcpy => {
+                let d = args[0].0.as_ptr().cloned();
+                let s = args[1].0.as_ptr().cloned();
+                let (d, s) = match (d, s) {
+                    (Some(d), Some(s)) => (d, s),
+                    _ => return Err(Stop::Unsupported("strcpy operands".into())),
+                };
+                let text = self.read_c_string(&s)?;
+                self.mem.memcpy(&d, &s, text.len() as u64 + 1)?;
+                Ok(Value::Ptr {
+                    ty: Ty::ptr(Ty::Int(IntTy::Char)),
+                    v: d,
+                })
+            }
+            PrintCap => {
+                let line = self.render_cap_value(&args[0].0);
+                self.stdout.push_str(&line);
+                self.stdout.push('\n');
+                Ok(Value::Void)
+            }
+            Fabs | Sqrt => {
+                let x = args[0].0.as_float().unwrap_or(0.0);
+                let v = if b == Fabs { x.abs() } else { x.sqrt() };
+                Ok(Value::Float {
+                    fty: FloatTy::F64,
+                    v,
+                })
+            }
+            CheriTagGet | CheriIsValid => {
+                let c = cap_of(&args[0].0)?;
+                // §3.5: the tag of a ghost-unspecified capability reads as
+                // an *unspecified* boolean; we concretise to false and count.
+                let v = if c.ghost().tag_unspecified {
+                    self.unspecified_reads += 1;
+                    false
+                } else {
+                    c.tag()
+                };
+                int_result(IntTy::Bool, i128::from(v))
+            }
+            CheriTagClear => {
+                let c = cap_of(&args[0].0)?;
+                let orig = args.remove(0).0;
+                Ok(rewrap(self, &orig, c.clear_tag()))
+            }
+            CheriSentryCreate => {
+                let c = cap_of(&args[0].0)?;
+                let orig = args.remove(0).0;
+                Ok(rewrap(self, &orig, c.seal_entry()))
+            }
+            CheriAddressGet => {
+                let c = cap_of(&args[0].0)?;
+                int_result(IntTy::PtrAddr, i128::from(c.address()))
+            }
+            CheriBaseGet => {
+                let c = cap_of(&args[0].0)?;
+                let v = if c.ghost().bounds_unspecified {
+                    self.unspecified_reads += 1;
+                    0
+                } else {
+                    c.bounds().base
+                };
+                int_result(IntTy::PtrAddr, i128::from(v))
+            }
+            CheriLengthGet => {
+                let c = cap_of(&args[0].0)?;
+                let v = if c.ghost().bounds_unspecified {
+                    self.unspecified_reads += 1;
+                    0
+                } else {
+                    c.bounds().length()
+                };
+                int_result(IntTy::ULong, i128::from(v))
+            }
+            CheriOffsetGet => {
+                let c = cap_of(&args[0].0)?;
+                int_result(
+                    IntTy::ULong,
+                    i128::from(c.address().wrapping_sub(c.bounds().base)),
+                )
+            }
+            CheriOffsetSet => {
+                let c = cap_of(&args[0].0)?;
+                let off = args[1].0.as_int().map(IntVal::value).unwrap_or(0) as u64;
+                let orig = args.remove(0).0;
+                let new = c.with_address(c.bounds().base.wrapping_add(off));
+                Ok(rewrap(self, &orig, new))
+            }
+            CheriAddressSet => {
+                let c = cap_of(&args[0].0)?;
+                let a = args[1].0.as_int().map(IntVal::value).unwrap_or(0) as u64;
+                let orig = args.remove(0).0;
+                Ok(rewrap(self, &orig, c.with_address(a)))
+            }
+            CheriPermsGet => {
+                let c = cap_of(&args[0].0)?;
+                int_result(IntTy::ULong, i128::from(c.perms().bits()))
+            }
+            CheriPermsAnd => {
+                let c = cap_of(&args[0].0)?;
+                let mask = args[1].0.as_int().map(IntVal::value).unwrap_or(0) as u32;
+                let orig = args.remove(0).0;
+                Ok(rewrap(
+                    self,
+                    &orig,
+                    c.with_perms_and(Perms::from_bits_truncate(mask)),
+                ))
+            }
+            CheriBoundsSet | CheriBoundsSetExact => {
+                let c = cap_of(&args[0].0)?;
+                let len = args[1].0.as_int().map(IntVal::value).unwrap_or(0) as u64;
+                let orig = args.remove(0).0;
+                let new = if b == CheriBoundsSetExact {
+                    c.with_bounds_exact(c.address(), len)
+                } else {
+                    c.with_bounds(c.address(), len)
+                };
+                Ok(rewrap(self, &orig, new))
+            }
+            CheriIsEqualExact => {
+                let a = cap_of(&args[0].0)?;
+                let c = cap_of(&args[1].0)?;
+                // §3.6: unspecified if either side has ghost state set.
+                let v = if !a.ghost().is_clean() || !c.ghost().is_clean() {
+                    self.unspecified_reads += 1;
+                    false
+                } else {
+                    a.exact_eq(&c)
+                };
+                int_result(IntTy::Bool, i128::from(v))
+            }
+            CheriIsSubset => {
+                let a = cap_of(&args[0].0)?;
+                let c = cap_of(&args[1].0)?;
+                let v = a.bounds().base >= c.bounds().base
+                    && a.bounds().top <= c.bounds().top
+                    && a.perms().is_subset_of(c.perms());
+                int_result(IntTy::Bool, i128::from(v))
+            }
+            CheriReprLength => {
+                let n = args[0].0.as_int().map(IntVal::value).unwrap_or(0) as u64;
+                int_result(IntTy::ULong, i128::from(C::representable_length(n)))
+            }
+            CheriReprAlignMask => {
+                let n = args[0].0.as_int().map(IntVal::value).unwrap_or(0) as u64;
+                int_result(
+                    IntTy::ULong,
+                    i128::from(C::representable_alignment_mask(n)),
+                )
+            }
+            CheriSeal => {
+                let c = cap_of(&args[0].0)?;
+                let auth = cap_of(&args[1].0)?;
+                let orig = args.remove(0).0;
+                let new = c.seal(&auth).unwrap_or_else(|_| c.clear_tag());
+                Ok(rewrap(self, &orig, new))
+            }
+            CheriUnseal => {
+                let c = cap_of(&args[0].0)?;
+                let auth = cap_of(&args[1].0)?;
+                let orig = args.remove(0).0;
+                let new = c.unseal(&auth).unwrap_or_else(|_| c.clear_tag());
+                Ok(rewrap(self, &orig, new))
+            }
+            CheriIsSealed => {
+                let c = cap_of(&args[0].0)?;
+                int_result(IntTy::Bool, i128::from(c.is_sealed()))
+            }
+            CheriTypeGet => {
+                let c = cap_of(&args[0].0)?;
+                int_result(IntTy::Long, i128::from(c.otype().value()))
+            }
+            CheriFlagsGet => {
+                let c = cap_of(&args[0].0)?;
+                int_result(IntTy::ULong, i128::from(c.flags()))
+            }
+            CheriFlagsSet => {
+                let c = cap_of(&args[0].0)?;
+                let f = args[1].0.as_int().map(IntVal::value).unwrap_or(0) as u8;
+                let orig = args.remove(0).0;
+                Ok(rewrap(self, &orig, c.with_flags(f)))
+            }
+            CheriDdcGet | CheriPccGet => {
+                // DDC: every data authority including seal/unseal, but not
+                // execute; PCC: the code authority.
+                let cap = if b == CheriDdcGet {
+                    C::root().with_perms_and(!Perms::EXECUTE)
+                } else {
+                    C::root().with_perms_and(Perms::code() | Perms::LOAD)
+                };
+                Ok(Value::Ptr {
+                    ty: Ty::ptr(Ty::Void),
+                    v: PtrVal::new(Provenance::Empty, cap),
+                })
+            }
+        }
+    }
+
+    fn read_c_string(&mut self, p: &PtrVal<C>) -> EResult<String> {
+        let mut out = Vec::new();
+        for i in 0..65536i64 {
+            let q = self.mem.array_shift(p, 1, i)?;
+            let b = self.mem.load_int(&q, 1, false, false)?;
+            let b = b.value() as u8;
+            if b == 0 {
+                return Ok(String::from_utf8_lossy(&out).into_owned());
+            }
+            out.push(b);
+        }
+        Err(Stop::Limit("unterminated string".into()))
+    }
+
+    /// Render a capability-carrying value in the Appendix A format. The
+    /// reference semantics prints the provenance (`(@86, 0x… […])`), the
+    /// hardware profiles print the bare capability (`0x… […]`), matching
+    /// the respective rows of the paper's sample output.
+    fn render_cap_value(&self, v: &Value<C>) -> String {
+        let with_prov = self.profile.mem.abstract_ub;
+        let (cap, prov) = match v {
+            Value::Ptr { v, .. } => (Some(&v.cap), v.prov),
+            Value::Int { v, .. } => match v {
+                IntVal::Cap { cap, prov, .. } => (Some(cap), *prov),
+                IntVal::Num(n) => return format!("{n}"),
+            },
+            Value::Float { v, .. } => return format!("{v}"),
+            Value::Void => return "<void>".into(),
+        };
+        let cap = cap.expect("capability value");
+        if with_prov {
+            format!("({prov}, {})", cheri_cap::CapDisplay(cap))
+        } else {
+            format!("{}", cheri_cap::CapDisplay(cap))
+        }
+    }
+
+    /// Minimal printf-style formatting.
+    fn format(&mut self, fmt: &str, args: &[(Value<C>, Ty)]) -> EResult<String> {
+        let mut out = String::new();
+        let mut it = fmt.chars().peekable();
+        let mut arg_i = 0;
+        let next = |i: &mut usize| -> Option<&(Value<C>, Ty)> {
+            let v = args.get(*i);
+            *i += 1;
+            v
+        };
+        while let Some(c) = it.next() {
+            if c != '%' {
+                out.push(c);
+                continue;
+            }
+            // Skip flags/width and length modifiers.
+            let mut conv = None;
+            for c in it.by_ref() {
+                match c {
+                    'd' | 'i' | 'u' | 'x' | 'X' | 'p' | 's' | 'c' | '%' | 'f' | 'g' | 'e' => {
+                        conv = Some(c);
+                        break;
+                    }
+                    '0'..='9' | '-' | '+' | ' ' | '#' | '.' | 'l' | 'z' | 'h' | 'j' | 't' => {}
+                    other => {
+                        conv = Some(other);
+                        break;
+                    }
+                }
+            }
+            match conv {
+                Some('%') => out.push('%'),
+                Some('d' | 'i') => {
+                    if let Some((v, _)) = next(&mut arg_i) {
+                        out.push_str(&v.as_int().map(IntVal::value).unwrap_or(0).to_string());
+                    }
+                }
+                Some('u') => {
+                    if let Some((v, _)) = next(&mut arg_i) {
+                        let n = v.as_int().map(IntVal::value).unwrap_or(0);
+                        out.push_str(&(n as u64).to_string());
+                    }
+                }
+                Some('x') => {
+                    if let Some((v, _)) = next(&mut arg_i) {
+                        let n = v.as_int().map(IntVal::value).unwrap_or(0);
+                        out.push_str(&format!("{:x}", n as u64));
+                    }
+                }
+                Some('X') => {
+                    if let Some((v, _)) = next(&mut arg_i) {
+                        let n = v.as_int().map(IntVal::value).unwrap_or(0);
+                        out.push_str(&format!("{:X}", n as u64));
+                    }
+                }
+                Some('p') => {
+                    if let Some((v, _)) = next(&mut arg_i) {
+                        match v {
+                            Value::Ptr { v, .. } => out.push_str(&format!("{:#x}", v.addr())),
+                            Value::Int { v, .. } => {
+                                out.push_str(&format!("{:#x}", v.value() as u64));
+                            }
+                            Value::Float { .. } | Value::Void => out.push_str("0x0"),
+                        }
+                    }
+                }
+                Some('f') => {
+                    if let Some((v, _)) = next(&mut arg_i) {
+                        let f = v.as_float().unwrap_or(0.0);
+                        out.push_str(&format!("{f:.6}"));
+                    }
+                }
+                Some('g' | 'e') => {
+                    if let Some((v, _)) = next(&mut arg_i) {
+                        let f = v.as_float().unwrap_or(0.0);
+                        out.push_str(&format!("{f}"));
+                    }
+                }
+                Some('c') => {
+                    if let Some((v, _)) = next(&mut arg_i) {
+                        let n = v.as_int().map(IntVal::value).unwrap_or(0) as u8;
+                        out.push(n as char);
+                    }
+                }
+                Some('s') => {
+                    if let Some((v, _)) = next(&mut arg_i) {
+                        if let Some(p) = v.as_ptr() {
+                            let p = p.clone();
+                            out.push_str(&self.read_c_string(&p)?);
+                        }
+                    }
+                }
+                _ => out.push('%'),
+            }
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,122 @@
+//! Abstract memory bytes.
+//!
+//! §4.3: `AbsByte ≜ π × (option byte) × (option ℕ)` — each byte of the
+//! memory content carries a provenance, an optional 8-bit value (absent for
+//! uninitialised memory), and an optional *copy index* recording which byte
+//! of a pointer representation it is, so that a bytewise `memcpy` of a
+//! pointer can reassemble its provenance.
+
+use crate::Provenance;
+
+/// One byte of abstract memory.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct AbsByte {
+    /// Provenance carried by this byte (π).
+    pub prov: Provenance,
+    /// The byte value; `None` for uninitialised memory.
+    pub value: Option<u8>,
+    /// For bytes of a pointer representation: the index of this byte within
+    /// the pointer (0-based), enabling provenance recovery on reassembly.
+    pub copy_index: Option<u8>,
+}
+
+impl AbsByte {
+    /// An uninitialised byte with empty provenance.
+    pub const UNINIT: AbsByte = AbsByte {
+        prov: Provenance::Empty,
+        value: None,
+        copy_index: None,
+    };
+
+    /// A plain data byte with no provenance.
+    #[must_use]
+    pub fn data(value: u8) -> Self {
+        AbsByte {
+            prov: Provenance::Empty,
+            value: Some(value),
+            copy_index: None,
+        }
+    }
+
+    /// A byte of a pointer representation.
+    #[must_use]
+    pub fn pointer(prov: Provenance, value: u8, index: u8) -> Self {
+        AbsByte {
+            prov,
+            value: Some(value),
+            copy_index: Some(index),
+        }
+    }
+
+    /// Is this byte initialised?
+    #[must_use]
+    pub fn is_init(&self) -> bool {
+        self.value.is_some()
+    }
+}
+
+/// Recover the provenance of a pointer reassembled from `bytes`, PNVI-style:
+/// all bytes must carry the same non-empty provenance and consecutive copy
+/// indices starting at 0, otherwise the result is [`Provenance::Empty`].
+#[must_use]
+pub fn recover_provenance(bytes: &[AbsByte]) -> Provenance {
+    let first = match bytes.first() {
+        Some(b) => b,
+        None => return Provenance::Empty,
+    };
+    let prov = first.prov;
+    if prov.is_empty() {
+        return Provenance::Empty;
+    }
+    for (i, b) in bytes.iter().enumerate() {
+        if b.prov != prov || b.copy_index != Some(i as u8) {
+            return Provenance::Empty;
+        }
+    }
+    prov
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AllocId;
+
+    fn ptr_bytes(id: u64, n: u8) -> Vec<AbsByte> {
+        (0..n)
+            .map(|i| AbsByte::pointer(Provenance::Alloc(AllocId(id)), i, i))
+            .collect()
+    }
+
+    #[test]
+    fn uninit_byte() {
+        assert!(!AbsByte::UNINIT.is_init());
+        assert!(AbsByte::data(0).is_init());
+    }
+
+    #[test]
+    fn recover_intact_pointer() {
+        let bytes = ptr_bytes(7, 16);
+        assert_eq!(recover_provenance(&bytes), Provenance::Alloc(AllocId(7)));
+    }
+
+    #[test]
+    fn recover_fails_on_shuffled_bytes() {
+        let mut bytes = ptr_bytes(7, 16);
+        bytes.swap(0, 1);
+        assert_eq!(recover_provenance(&bytes), Provenance::Empty);
+    }
+
+    #[test]
+    fn recover_fails_on_mixed_provenance() {
+        let mut bytes = ptr_bytes(7, 16);
+        bytes[5].prov = Provenance::Alloc(AllocId(8));
+        assert_eq!(recover_provenance(&bytes), Provenance::Empty);
+    }
+
+    #[test]
+    fn recover_fails_on_overwritten_byte() {
+        let mut bytes = ptr_bytes(7, 16);
+        bytes[0] = AbsByte::data(0x41);
+        assert_eq!(recover_provenance(&bytes), Provenance::Empty);
+    }
+}

@@ -1,0 +1,131 @@
+//! Allocations (the `A` component of `mem_state`).
+//!
+//! Each allocation records its footprint, liveness, kind, whether it is
+//! read-only (for `const`-qualified objects, §3.9) and whether it has been
+//! *exposed* by having a pointer to it cast to an integer or its
+//! representation examined (PNVI-*ae*, §2.3).
+
+use crate::AllocId;
+
+/// How an allocation was created.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AllocKind {
+    /// A local (automatic storage duration) object.
+    Auto,
+    /// A global (static storage duration) object.
+    Static,
+    /// A dynamic region from `malloc`/`calloc`/`realloc`.
+    Heap,
+    /// A function's "object" — functions get allocations so function
+    /// pointers have provenance and (degenerate) bounds.
+    Function,
+    /// A string literal.
+    StringLiteral,
+}
+
+impl AllocKind {
+    /// Is this allocation writable at all?
+    #[must_use]
+    pub fn inherently_readonly(self) -> bool {
+        matches!(self, AllocKind::Function | AllocKind::StringLiteral)
+    }
+}
+
+/// One allocation in the abstract machine.
+#[derive(Clone, Debug)]
+pub struct Allocation {
+    /// Unique ID (the provenance `@i`).
+    pub id: AllocId,
+    /// Base virtual address.
+    pub base: u64,
+    /// Size in bytes as requested by the program.
+    pub size: u64,
+    /// Size in bytes actually reserved (>= `size` when padding was needed
+    /// for capability representability, §3.2).
+    pub reserved_size: u64,
+    /// Alignment of `base`.
+    pub align: u64,
+    /// Storage kind.
+    pub kind: AllocKind,
+    /// Still live?
+    pub alive: bool,
+    /// Marked exposed by a pointer-to-integer cast or representation access
+    /// (PNVI-ae).
+    pub exposed: bool,
+    /// Read-only (`const`-qualified object or inherently read-only kind).
+    pub readonly: bool,
+    /// Diagnostic name (variable name or `"malloc"`).
+    pub prefix: String,
+}
+
+impl Allocation {
+    /// One-past-the-end address of the *requested* footprint.
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.base.wrapping_add(self.size)
+    }
+
+    /// Does the allocation footprint contain `[addr, addr+size)`?
+    #[must_use]
+    pub fn contains_range(&self, addr: u64, size: u64) -> bool {
+        addr >= self.base && addr as u128 + size as u128 <= self.base as u128 + self.size as u128
+    }
+
+    /// Is `addr` within the footprint or one past it (the region in which
+    /// ISO pointer arithmetic may roam, 6.5.6p8)?
+    #[must_use]
+    pub fn contains_or_one_past(&self, addr: u64) -> bool {
+        addr >= self.base && addr as u128 <= self.base as u128 + self.size as u128
+    }
+
+    /// Is the allocation writable?
+    #[must_use]
+    pub fn writable(&self) -> bool {
+        !self.readonly && !self.kind.inherently_readonly()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc(base: u64, size: u64) -> Allocation {
+        Allocation {
+            id: AllocId(1),
+            base,
+            size,
+            reserved_size: size,
+            align: 4,
+            kind: AllocKind::Auto,
+            alive: true,
+            exposed: false,
+            readonly: false,
+            prefix: "x".into(),
+        }
+    }
+
+    #[test]
+    fn contains_range_edges() {
+        let a = alloc(0x1000, 8);
+        assert!(a.contains_range(0x1000, 8));
+        assert!(a.contains_range(0x1004, 4));
+        assert!(!a.contains_range(0x1004, 5));
+        assert!(!a.contains_range(0xFFF, 1));
+        assert!(a.contains_range(0x1008, 0)); // empty range at one-past
+    }
+
+    #[test]
+    fn one_past_is_in_arith_range() {
+        let a = alloc(0x1000, 8);
+        assert!(a.contains_or_one_past(0x1008));
+        assert!(!a.contains_or_one_past(0x1009));
+        assert!(!a.contains_or_one_past(0xFFF));
+    }
+
+    #[test]
+    fn function_allocations_readonly() {
+        let mut a = alloc(0x4000, 1);
+        a.kind = AllocKind::Function;
+        assert!(!a.writable());
+    }
+}

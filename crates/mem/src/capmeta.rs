@@ -1,0 +1,191 @@
+//! Capability metadata: the `C` dictionary of §4.3.
+//!
+//! "For each capability-size aligned memory location, we add metadata
+//! consisting of the capability tag and a two-bit ghost state ... The first
+//! bit of the ghost state for a given capability indicates whether the tag
+//! is unspecified, and the second bit indicates whether the address and
+//! bounds are unspecified."
+
+use std::collections::BTreeMap;
+
+use cheri_cap::GhostState;
+
+/// How the model invalidates capabilities whose representation was touched
+/// by a non-capability write.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TagInvalidation {
+    /// Abstract-machine semantics (§3.5): the tag becomes *unspecified* in
+    /// ghost state, so later use for access is UB but optimisations that
+    /// remove the invalidation remain sound.
+    #[default]
+    Ghost,
+    /// Hardware semantics: the tag is deterministically cleared (what a
+    /// Morello or CHERI-RISC-V machine does). Used by the implementation
+    /// emulation profiles.
+    Clear,
+}
+
+/// The per-slot metadata: the stored tag and the two ghost bits.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SlotMeta {
+    /// The stored capability tag.
+    pub tag: bool,
+    /// Ghost state of the stored capability.
+    pub ghost: GhostState,
+}
+
+/// The capability-metadata dictionary, keyed by capability-aligned address.
+#[derive(Clone, Debug, Default)]
+pub struct CapMeta {
+    slots: BTreeMap<u64, SlotMeta>,
+}
+
+impl CapMeta {
+    /// An empty dictionary.
+    #[must_use]
+    pub fn new() -> Self {
+        CapMeta::default()
+    }
+
+    /// Metadata for the slot at `addr` (which must be aligned); absent slots
+    /// read as untagged-and-clean.
+    #[must_use]
+    pub fn get(&self, addr: u64) -> SlotMeta {
+        self.slots.get(&addr).copied().unwrap_or_default()
+    }
+
+    /// Record a capability store at aligned address `addr`.
+    pub fn set(&mut self, addr: u64, meta: SlotMeta) {
+        if meta == SlotMeta::default() {
+            self.slots.remove(&addr);
+        } else {
+            self.slots.insert(addr, meta);
+        }
+    }
+
+    /// Invalidate every slot whose `cap_bytes`-sized footprint overlaps
+    /// `[lo, hi)` — called for every non-capability write (§4.3: "Writing
+    /// non-capabilities to memory marks all previously set tags for the
+    /// corresponding address range as unspecified in the ghost state").
+    ///
+    /// Returns the number of slots affected.
+    pub fn invalidate_range(
+        &mut self,
+        lo: u64,
+        hi: u64,
+        cap_bytes: u64,
+        mode: TagInvalidation,
+    ) -> usize {
+        if hi <= lo {
+            return 0;
+        }
+        let first_slot = lo & !(cap_bytes - 1);
+        let mut affected = 0;
+        let mut slot = first_slot;
+        while slot < hi {
+            if let Some(meta) = self.slots.get_mut(&slot) {
+                if meta.tag || !meta.ghost.is_clean() {
+                    affected += 1;
+                    match mode {
+                        TagInvalidation::Ghost => {
+                            meta.ghost.tag_unspecified = true;
+                        }
+                        TagInvalidation::Clear => {
+                            meta.tag = false;
+                            meta.ghost = GhostState::CLEAN;
+                        }
+                    }
+                }
+            }
+            slot = match slot.checked_add(cap_bytes) {
+                Some(s) => s,
+                None => break,
+            };
+        }
+        affected
+    }
+
+    /// Forget all slots within `[lo, hi)` (used when an allocation dies).
+    pub fn clear_range(&mut self, lo: u64, hi: u64) {
+        let keys: Vec<u64> = self.slots.range(lo..hi).map(|(k, _)| *k).collect();
+        for k in keys {
+            self.slots.remove(&k);
+        }
+    }
+
+    /// Number of tagged slots (diagnostics).
+    #[must_use]
+    pub fn tagged_count(&self) -> usize {
+        self.slots.values().filter(|m| m.tag).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tagged() -> SlotMeta {
+        SlotMeta {
+            tag: true,
+            ghost: GhostState::CLEAN,
+        }
+    }
+
+    #[test]
+    fn absent_slots_are_untagged() {
+        let m = CapMeta::new();
+        assert!(!m.get(0x1000).tag);
+        assert!(m.get(0x1000).ghost.is_clean());
+    }
+
+    #[test]
+    fn ghost_invalidation_marks_unspecified() {
+        let mut m = CapMeta::new();
+        m.set(0x1000, tagged());
+        let n = m.invalidate_range(0x1004, 0x1005, 16, TagInvalidation::Ghost);
+        assert_eq!(n, 1);
+        let s = m.get(0x1000);
+        assert!(s.tag, "tag itself survives in ghost mode");
+        assert!(s.ghost.tag_unspecified);
+    }
+
+    #[test]
+    fn clear_invalidation_drops_tag() {
+        let mut m = CapMeta::new();
+        m.set(0x1000, tagged());
+        m.invalidate_range(0x1000, 0x1010, 16, TagInvalidation::Clear);
+        assert!(!m.get(0x1000).tag);
+        assert!(m.get(0x1000).ghost.is_clean());
+    }
+
+    #[test]
+    fn write_not_overlapping_slot_leaves_it() {
+        let mut m = CapMeta::new();
+        m.set(0x1000, tagged());
+        let n = m.invalidate_range(0x1010, 0x1020, 16, TagInvalidation::Ghost);
+        assert_eq!(n, 0);
+        assert!(m.get(0x1000).ghost.is_clean());
+    }
+
+    #[test]
+    fn wide_write_invalidates_multiple_slots() {
+        let mut m = CapMeta::new();
+        m.set(0x1000, tagged());
+        m.set(0x1010, tagged());
+        m.set(0x1020, tagged());
+        let n = m.invalidate_range(0x1008, 0x1018, 16, TagInvalidation::Clear);
+        assert_eq!(n, 2);
+        assert!(!m.get(0x1000).tag);
+        assert!(!m.get(0x1010).tag);
+        assert!(m.get(0x1020).tag);
+    }
+
+    #[test]
+    fn clear_range_forgets_slots() {
+        let mut m = CapMeta::new();
+        m.set(0x1000, tagged());
+        m.set(0x1010, tagged());
+        m.clear_range(0x1000, 0x1010);
+        assert_eq!(m.tagged_count(), 1);
+    }
+}

@@ -1,0 +1,1229 @@
+//! The CHERI C memory object model (§4.3 of the paper).
+//!
+//! The state is the paper's `mem_state ≜ A × S × M` with `M ≜ B × C`:
+//! allocations, PNVI-ae-udi provenance bookkeeping, an address-indexed
+//! dictionary of [`AbsByte`]s, and the capability-metadata dictionary
+//! [`CapMeta`]. All operations are methods on [`CheriMemory`] returning
+//! [`MemResult`] — the Rust rendering of the paper's `memM` state-and-error
+//! monad.
+//!
+//! The same type also serves as the *baseline* ISO C PNVI-ae-udi concrete
+//! model (§2.3) when constructed with `capabilities = false`, and as the
+//! hardware-emulation model for the implementation-comparison profiles when
+//! constructed with `abstract_ub = false` (capability traps only, no
+//! abstract UB detection) — see [`MemConfig`].
+
+use std::collections::BTreeMap;
+
+use cheri_cap::{Capability, GhostState, Perms};
+
+use crate::absbyte::{recover_provenance, AbsByte};
+use crate::allocation::{AllocKind, Allocation};
+use crate::capmeta::{CapMeta, SlotMeta, TagInvalidation};
+use crate::layout::AddressLayout;
+use crate::provenance::{AllocId, IotaId, IotaState, Provenance};
+use crate::ub::{MemError, MemResult, TrapKind, Ub};
+use crate::value::{IntVal, PtrVal};
+
+/// Configuration of a memory-model instance.
+#[derive(Clone, Copy, Debug)]
+pub struct MemConfig {
+    /// `true`: the CHERI C model (pointers are capabilities, architectural
+    /// checks on every access). `false`: the baseline PNVI-ae-udi concrete
+    /// model with machine-word pointers.
+    pub capabilities: bool,
+    /// `true`: abstract-machine semantics — provenance/liveness/ISO checks
+    /// are performed and failures are reported as UB. `false`: hardware
+    /// emulation — only the architectural capability checks run, failing
+    /// with [`MemError::Trap`].
+    pub abstract_ub: bool,
+    /// How non-capability writes invalidate overlapping capabilities.
+    pub tag_invalidation: TagInvalidation,
+    /// Allocator address layout.
+    pub layout: AddressLayout,
+    /// Pad and align allocations so their capabilities are exactly
+    /// representable (§3.2: "allocators need to use additional padding
+    /// and/or alignment").
+    pub pad_for_representability: bool,
+    /// Capability revocation on free (§5.4/§7: CHERIoT-style temporal
+    /// safety / Cornucopia): ending a heap allocation's lifetime sweeps
+    /// memory and clears the tag of every stored capability whose bounds
+    /// lie within the freed region, so even the hardware-only profiles
+    /// catch use-after-free through reloaded pointers.
+    pub revocation: bool,
+}
+
+impl MemConfig {
+    /// The reference (Cerberus-like) CHERI C abstract machine.
+    #[must_use]
+    pub fn cheri_reference() -> Self {
+        MemConfig {
+            capabilities: true,
+            abstract_ub: true,
+            tag_invalidation: TagInvalidation::Ghost,
+            layout: AddressLayout::cerberus(),
+            pad_for_representability: true,
+            revocation: false,
+        }
+    }
+
+    /// A CHERI hardware implementation (capability traps, no abstract UB),
+    /// with the given allocator layout.
+    #[must_use]
+    pub fn cheri_hardware(layout: AddressLayout) -> Self {
+        MemConfig {
+            capabilities: true,
+            abstract_ub: false,
+            tag_invalidation: TagInvalidation::Clear,
+            layout,
+            pad_for_representability: true,
+            revocation: false,
+        }
+    }
+
+    /// A CHERIoT-style configuration: hardware checking plus revocation on
+    /// free (§5.4: "CHERIoT provides additional temporal guarantees").
+    #[must_use]
+    pub fn cheriot() -> Self {
+        MemConfig {
+            capabilities: true,
+            abstract_ub: false,
+            tag_invalidation: TagInvalidation::Clear,
+            layout: AddressLayout::embedded32(),
+            pad_for_representability: true,
+            revocation: true,
+        }
+    }
+
+    /// The baseline ISO C concrete model (PNVI-ae-udi, no capabilities).
+    #[must_use]
+    pub fn iso_baseline() -> Self {
+        MemConfig {
+            capabilities: false,
+            abstract_ub: true,
+            tag_invalidation: TagInvalidation::Ghost,
+            layout: AddressLayout::cerberus(),
+            pad_for_representability: false,
+            revocation: false,
+        }
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig::cheri_reference()
+    }
+}
+
+/// Operation counters, for the benchmark harness.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemStats {
+    /// Number of scalar loads performed.
+    pub loads: u64,
+    /// Number of scalar stores performed.
+    pub stores: u64,
+    /// Number of allocations created.
+    pub allocations: u64,
+    /// Number of capability-representability checks performed.
+    pub representability_checks: u64,
+    /// Bytes wasted to representability padding (§3.2).
+    pub padding_bytes: u64,
+}
+
+/// Which kind of access a check is for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Access {
+    Load,
+    Store,
+}
+
+/// The memory object model.
+///
+/// # Example
+///
+/// ```
+/// use cheri_cap::MorelloCap;
+/// use cheri_mem::{CheriMemory, MemConfig, IntVal};
+///
+/// let mut mem = CheriMemory::<MorelloCap>::new(MemConfig::cheri_reference());
+/// let p = mem.allocate_object("x", 4, 4, false, None).unwrap();
+/// mem.store_int(&p, 4, &IntVal::Num(42)).unwrap();
+/// assert_eq!(mem.load_int(&p, 4, true, false).unwrap().value(), 42);
+///
+/// // One-past construction is fine; accessing through it is UB.
+/// let q = mem.array_shift(&p, 4, 1).unwrap();
+/// assert!(mem.load_int(&q, 4, true, false).is_err());
+/// ```
+#[derive(Clone, Debug)]
+pub struct CheriMemory<C: Capability> {
+    cfg: MemConfig,
+    allocations: BTreeMap<AllocId, Allocation>,
+    next_alloc: u64,
+    iotas: BTreeMap<IotaId, IotaState>,
+    next_iota: u64,
+    bytes: BTreeMap<u64, AbsByte>,
+    caps: CapMeta,
+    stack_ptr: u64,
+    heap_ptr: u64,
+    globals_ptr: u64,
+    /// Operation counters.
+    pub stats: MemStats,
+    trace: Option<Vec<String>>,
+    _cap: std::marker::PhantomData<C>,
+}
+
+impl<C: Capability> CheriMemory<C> {
+    /// Create an empty memory with the given configuration.
+    #[must_use]
+    pub fn new(cfg: MemConfig) -> Self {
+        CheriMemory {
+            cfg,
+            allocations: BTreeMap::new(),
+            // Allocation IDs start above the IDs the runtime start-up would
+            // consume in Cerberus; cosmetic only.
+            next_alloc: 1,
+            iotas: BTreeMap::new(),
+            next_iota: 0,
+            bytes: BTreeMap::new(),
+            caps: CapMeta::new(),
+            stack_ptr: cfg.layout.stack_base,
+            heap_ptr: cfg.layout.heap_base,
+            globals_ptr: cfg.layout.globals_base,
+            stats: MemStats::default(),
+            trace: None,
+            _cap: std::marker::PhantomData,
+        }
+    }
+
+    /// Enable memory-event tracing: every allocation, lifetime end, load
+    /// and store is recorded as a line. Supports using the executable
+    /// semantics as a test oracle (§7 of the paper).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Take the recorded trace, leaving tracing enabled.
+    pub fn take_trace(&mut self) -> Vec<String> {
+        match &mut self.trace {
+            Some(t) => std::mem::take(t),
+            None => Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn tr(&mut self, f: impl FnOnce() -> String) {
+        if let Some(t) = &mut self.trace {
+            t.push(f());
+        }
+    }
+
+    /// The configuration this instance runs with.
+    #[must_use]
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// Size in bytes of a stored pointer in this model (capability size, or
+    /// machine-word size for the baseline model).
+    #[must_use]
+    pub fn pointer_bytes(&self) -> usize {
+        if self.cfg.capabilities {
+            C::CAP_BYTES
+        } else {
+            (C::ADDR_BITS / 8) as usize
+        }
+    }
+
+    // ── Allocation ───────────────────────────────────────────────────────
+
+    fn fresh_alloc_id(&mut self) -> AllocId {
+        let id = AllocId(self.next_alloc);
+        self.next_alloc += 1;
+        id
+    }
+
+    /// Compute the address for a new allocation of `size` bytes with
+    /// `align` alignment in the region for `kind`.
+    fn place(&mut self, size: u64, align: u64, kind: AllocKind) -> MemResult<u64> {
+        let align = align.max(1);
+        match kind {
+            AllocKind::Auto => {
+                let base = self
+                    .stack_ptr
+                    .checked_sub(size)
+                    .map(|a| a & !(align - 1))
+                    .ok_or_else(|| MemError::Fail("stack exhausted".into()))?;
+                if base < self.cfg.layout.stack_limit {
+                    return Err(MemError::Fail("stack exhausted".into()));
+                }
+                self.stack_ptr = base;
+                Ok(base)
+            }
+            AllocKind::Heap => {
+                let base = (self.heap_ptr + align - 1) & !(align - 1);
+                let end = base
+                    .checked_add(size)
+                    .ok_or_else(|| MemError::Fail("heap exhausted".into()))?;
+                if end > self.cfg.layout.heap_limit {
+                    return Err(MemError::Fail("heap exhausted".into()));
+                }
+                self.heap_ptr = end;
+                Ok(base)
+            }
+            AllocKind::Static | AllocKind::Function | AllocKind::StringLiteral => {
+                let base = (self.globals_ptr + align - 1) & !(align - 1);
+                let end = base
+                    .checked_add(size)
+                    .ok_or_else(|| MemError::Fail("globals exhausted".into()))?;
+                if end > self.cfg.layout.globals_limit {
+                    return Err(MemError::Fail("globals region exhausted".into()));
+                }
+                self.globals_ptr = end;
+                Ok(base)
+            }
+        }
+    }
+
+    /// Derive the capability handed out for a fresh allocation: bounds
+    /// narrowed to the footprint, data permissions (read-only for `const`
+    /// objects, §3.9; execute for functions).
+    fn allocation_cap(&self, base: u64, size: u64, kind: AllocKind, readonly: bool) -> C {
+        if !self.cfg.capabilities {
+            // Baseline model: pointers are plain addresses; keep a root
+            // capability around purely as the address carrier.
+            return C::root().with_address(base);
+        }
+        let perms = match kind {
+            AllocKind::Function => Perms::code(),
+            AllocKind::StringLiteral => Perms::data_readonly(),
+            _ if readonly => Perms::data_readonly(),
+            _ => Perms::data(),
+        };
+        C::root()
+            .with_bounds(base, size)
+            .with_perms_and(perms)
+            .with_address(base)
+    }
+
+    /// Allocate an object (local or global variable, function, or string
+    /// literal) and return a pointer to it. `init` optionally provides the
+    /// initial byte contents; otherwise the object is uninitialised.
+    ///
+    /// # Errors
+    ///
+    /// Fails (not UB) when the address space region is exhausted.
+    pub fn allocate_object(
+        &mut self,
+        prefix: &str,
+        size: u64,
+        align: u64,
+        readonly: bool,
+        init: Option<&[u8]>,
+    ) -> MemResult<PtrVal<C>> {
+        self.allocate_kind(prefix, size, align, AllocKind::Auto, readonly, init)
+    }
+
+    /// Allocate with an explicit [`AllocKind`].
+    ///
+    /// # Errors
+    ///
+    /// Fails (not UB) when the address space region is exhausted.
+    pub fn allocate_kind(
+        &mut self,
+        prefix: &str,
+        size: u64,
+        align: u64,
+        kind: AllocKind,
+        readonly: bool,
+        init: Option<&[u8]>,
+    ) -> MemResult<PtrVal<C>> {
+        let (align, reserved) = if self.cfg.capabilities && self.cfg.pad_for_representability {
+            let mask = C::representable_alignment_mask(size);
+            let repr_align = (!mask).wrapping_add(1).max(1);
+            let reserved = C::representable_length(size).max(size.max(1));
+            self.stats.padding_bytes += reserved - size;
+            (align.max(repr_align), reserved)
+        } else {
+            (align, size.max(1))
+        };
+        let base = self.place(reserved, align, kind)?;
+        let id = self.fresh_alloc_id();
+        self.allocations.insert(
+            id,
+            Allocation {
+                id,
+                base,
+                size,
+                reserved_size: reserved,
+                align,
+                kind,
+                alive: true,
+                exposed: false,
+                readonly: readonly || kind.inherently_readonly(),
+                prefix: prefix.to_string(),
+            },
+        );
+        self.stats.allocations += 1;
+        self.tr(|| format!("create {id} '{prefix}' [{base:#x},+{size}) {kind:?}"));
+        if let Some(init) = init {
+            debug_assert_eq!(init.len() as u64, size);
+            for (i, b) in init.iter().enumerate() {
+                self.bytes.insert(base + i as u64, AbsByte::data(*b));
+            }
+        }
+        let cap = self.allocation_cap(base, size, kind, readonly);
+        Ok(PtrVal::new(Provenance::Alloc(id), cap))
+    }
+
+    /// `malloc`: allocate a dynamic region.
+    ///
+    /// # Errors
+    ///
+    /// Fails (not UB) when the heap is exhausted.
+    pub fn allocate_region(&mut self, size: u64, align: u64) -> MemResult<PtrVal<C>> {
+        self.allocate_kind("malloc", size, align.max(16), AllocKind::Heap, false, None)
+    }
+
+    /// End the lifetime of an allocation. `dynamic` selects `free` semantics
+    /// (heap region, pointer must be the start) vs. automatic end-of-scope.
+    ///
+    /// # Errors
+    ///
+    /// UB per ISO C: freeing an invalid pointer, double free, freeing a
+    /// pointer that is not the start of a heap allocation.
+    pub fn kill(&mut self, p: &PtrVal<C>, dynamic: bool) -> MemResult<()> {
+        if dynamic && p.is_null() {
+            return Ok(()); // free(NULL) is a no-op
+        }
+        let id = match self.resolve_prov(&p.prov, p.addr(), 0)? {
+            Some(id) => id,
+            None => {
+                return Err(MemError::ub(
+                    Ub::FreeInvalidPointer,
+                    format!("no provenance for {:#x}", p.addr()),
+                ))
+            }
+        };
+        let alloc = self
+            .allocations
+            .get(&id)
+            .ok_or_else(|| MemError::ub(Ub::FreeInvalidPointer, "unknown allocation"))?;
+        if !alloc.alive {
+            return Err(MemError::ub(
+                Ub::DoubleFree,
+                format!("{} ({})", id, alloc.prefix),
+            ));
+        }
+        if dynamic {
+            if alloc.kind != AllocKind::Heap || p.addr() != alloc.base {
+                return Err(MemError::ub(
+                    Ub::FreeInvalidPointer,
+                    format!("{:#x} is not the start of a heap allocation", p.addr()),
+                ));
+            }
+            if self.cfg.capabilities && !p.cap.tag() {
+                return Err(self.cap_fail(
+                    Ub::CheriInvalidCap,
+                    TrapKind::TagViolation,
+                    "free via untagged capability",
+                ));
+            }
+        }
+        let (base, end) = (alloc.base, alloc.base + alloc.reserved_size);
+        self.tr(|| format!("kill {id} [{base:#x},{end:#x}) dynamic={dynamic}"));
+        let alloc = self.allocations.get_mut(&id).expect("checked above");
+        alloc.alive = false;
+        if self.cfg.abstract_ub {
+            // Abstract machine: the contents become indeterminate when the
+            // lifetime ends.
+            let keys: Vec<u64> = self.bytes.range(base..end).map(|(k, _)| *k).collect();
+            for k in keys {
+                self.bytes.remove(&k);
+            }
+            self.caps.clear_range(base, end);
+        }
+        // Hardware emulation keeps the stale bytes: freed memory reads back
+        // its old contents until reused — which is exactly the §3.11
+        // temporal-safety gap the test suite demonstrates.
+        if self.cfg.revocation && dynamic {
+            // Heap revocation (Cornucopia revokes heap capabilities).
+            self.revoke_range(base, end);
+        }
+        Ok(())
+    }
+
+    /// Revocation sweep (§7 temporal-safety extension): clear the tag of
+    /// every capability stored anywhere in memory whose decoded bounds fall
+    /// within `[lo, hi)`. This models a Cornucopia/CHERIoT-style revoker;
+    /// capabilities held only in registers are swept at the next epoch on
+    /// real systems — here every C object lives in memory, so the sweep is
+    /// complete.
+    fn revoke_range(&mut self, lo: u64, hi: u64) {
+        let cb = C::CAP_BYTES as u64;
+        let slots: Vec<u64> = self
+            .bytes
+            .keys()
+            .copied()
+            .filter(|a| a % cb == 0)
+            .collect();
+        for slot in slots {
+            let meta = self.caps.get(slot);
+            if !meta.tag {
+                continue;
+            }
+            let raw: Vec<u8> = (0..cb)
+                .map(|i| {
+                    self.bytes
+                        .get(&(slot + i))
+                        .and_then(|b| b.value)
+                        .unwrap_or(0)
+                })
+                .collect();
+            if let Some(cap) = C::decode(&raw, true) {
+                let b = cap.bounds();
+                if b.base >= lo && b.base < hi {
+                    self.caps.set(
+                        slot,
+                        SlotMeta {
+                            tag: false,
+                            ghost: meta.ghost,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// `realloc`: allocate a new region, copy contents, free the old one.
+    ///
+    /// # Errors
+    ///
+    /// UB on an invalid old pointer; fails when the heap is exhausted.
+    pub fn reallocate(&mut self, old: &PtrVal<C>, new_size: u64) -> MemResult<PtrVal<C>> {
+        if old.is_null() {
+            return self.allocate_region(new_size, 16);
+        }
+        let id = self
+            .resolve_prov(&old.prov, old.addr(), 0)?
+            .ok_or_else(|| MemError::ub(Ub::FreeInvalidPointer, "realloc of unknown pointer"))?;
+        let (old_base, old_size, alive, kind) = {
+            let a = &self.allocations[&id];
+            (a.base, a.size, a.alive, a.kind)
+        };
+        if !alive {
+            return Err(MemError::ub(Ub::DoubleFree, "realloc of freed pointer"));
+        }
+        if kind != AllocKind::Heap || old.addr() != old_base {
+            return Err(MemError::ub(
+                Ub::FreeInvalidPointer,
+                "realloc of a non-heap pointer",
+            ));
+        }
+        let new = self.allocate_region(new_size, 16)?;
+        let n = old_size.min(new_size);
+        self.copy_bytes_raw(old_base, new.addr(), n);
+        self.kill(old, true)?;
+        Ok(new)
+    }
+
+    // ── Provenance ───────────────────────────────────────────────────────
+
+    /// Mark the allocation identified by `prov` as exposed (PNVI-ae).
+    pub fn expose(&mut self, prov: Provenance) {
+        if let Provenance::Alloc(id) = prov {
+            if let Some(a) = self.allocations.get_mut(&id) {
+                a.exposed = true;
+            }
+        }
+    }
+
+    /// Resolve a provenance to an allocation ID, resolving iotas against the
+    /// access footprint `[addr, addr+size)` (PNVI-ae-udi user
+    /// disambiguation).
+    fn resolve_prov(
+        &mut self,
+        prov: &Provenance,
+        addr: u64,
+        size: u64,
+    ) -> MemResult<Option<AllocId>> {
+        match *prov {
+            Provenance::Empty => Ok(None),
+            Provenance::Alloc(id) => Ok(Some(id)),
+            Provenance::Iota(iota) => {
+                let state = *self
+                    .iotas
+                    .get(&iota)
+                    .ok_or_else(|| MemError::Fail(format!("unknown iota {iota}")))?;
+                match state {
+                    IotaState::Resolved(id) => Ok(Some(id)),
+                    IotaState::Ambiguous(a, b) => {
+                        let fits = |id: AllocId, this: &Self| {
+                            this.allocations
+                                .get(&id)
+                                .is_some_and(|al| al.alive && al.contains_range(addr, size.max(1)))
+                        };
+                        let in_a = fits(a, self);
+                        let in_b = fits(b, self);
+                        let chosen = match (in_a, in_b) {
+                            (true, false) => a,
+                            (false, true) => b,
+                            _ => {
+                                return Err(MemError::ub(
+                                    Ub::AmbiguousProvenance,
+                                    format!("iota {iota} unresolvable at {addr:#x}"),
+                                ))
+                            }
+                        };
+                        self.iotas.insert(iota, IotaState::Resolved(chosen));
+                        Ok(Some(chosen))
+                    }
+                }
+            }
+        }
+    }
+
+    /// PNVI-ae-udi integer-to-pointer provenance lookup: find the exposed,
+    /// live allocation(s) whose footprint (or one-past point) contains
+    /// `addr`.
+    fn lookup_provenance(&mut self, addr: u64) -> Provenance {
+        let mut inside: Option<AllocId> = None;
+        let mut one_past: Option<AllocId> = None;
+        for (id, a) in &self.allocations {
+            if !a.alive || !a.exposed {
+                continue;
+            }
+            if addr >= a.base && addr < a.end() {
+                inside = Some(*id);
+            } else if addr == a.end() {
+                one_past = Some(*id);
+            }
+        }
+        match (inside, one_past) {
+            (Some(i), None) => Provenance::Alloc(i),
+            (None, Some(p)) => Provenance::Alloc(p),
+            (Some(i), Some(p)) => {
+                // The address is both one-past allocation `p` and the start
+                // of allocation `i`: defer the choice (udi).
+                let iota = IotaId(self.next_iota);
+                self.next_iota += 1;
+                self.iotas.insert(iota, IotaState::Ambiguous(p, i));
+                Provenance::Iota(iota)
+            }
+            (None, None) => Provenance::Empty,
+        }
+    }
+
+    // ── Access checking (the bounds_check of §4.3) ───────────────────────
+
+    fn cap_fail(&self, ub: Ub, trap: TrapKind, ctx: &str) -> MemError {
+        if self.cfg.abstract_ub {
+            MemError::ub(ub, ctx)
+        } else {
+            MemError::trap(trap, ctx)
+        }
+    }
+
+    /// The full access check: architectural capability checks (tag, ghost
+    /// tag, seal, permissions, bounds — the (1†) clauses) followed by the
+    /// abstract-machine provenance checks (the (1f)/(1g) clauses).
+    fn check_access(&mut self, p: &PtrVal<C>, size: u64, access: Access) -> MemResult<()> {
+        let addr = p.addr();
+        if self.cfg.capabilities {
+            let c = &p.cap;
+            if p.is_null() || (addr == 0 && !c.tag()) {
+                return Err(MemError::ub(Ub::NullDereference, "null capability"));
+            }
+            if c.ghost().tag_unspecified {
+                return Err(MemError::ub(
+                    Ub::CheriUndefinedTag,
+                    "capability tag is unspecified in ghost state",
+                ));
+            }
+            if !c.tag() {
+                return Err(self.cap_fail(
+                    Ub::CheriInvalidCap,
+                    TrapKind::TagViolation,
+                    "capability tag cleared",
+                ));
+            }
+            if c.is_sealed() {
+                return Err(self.cap_fail(
+                    Ub::CheriInvalidCap,
+                    TrapKind::TagViolation,
+                    "capability is sealed",
+                ));
+            }
+            let need = match access {
+                Access::Load => Perms::LOAD,
+                Access::Store => Perms::STORE,
+            };
+            if !c.perms().contains(need) {
+                return Err(self.cap_fail(
+                    Ub::CheriInsufficientPermissions,
+                    TrapKind::PermissionViolation,
+                    "missing load/store permission",
+                ));
+            }
+            if !c.bounds().contains_range(addr, size) {
+                return Err(self.cap_fail(
+                    Ub::CheriBoundsViolation,
+                    TrapKind::BoundsViolation,
+                    &format!("access [{:#x},+{}) outside bounds {}", addr, size, c.bounds()),
+                ));
+            }
+        } else if addr == 0 {
+            return Err(MemError::ub(Ub::NullDereference, "null pointer"));
+        }
+        if self.cfg.abstract_ub {
+            let id = self.resolve_prov(&p.prov, addr, size)?.ok_or_else(|| {
+                MemError::ub(
+                    Ub::EmptyProvenanceAccess,
+                    format!("access via empty-provenance pointer {addr:#x}"),
+                )
+            })?;
+            let a = self
+                .allocations
+                .get(&id)
+                .ok_or_else(|| MemError::Fail(format!("unknown allocation {id}")))?;
+            if !a.alive {
+                return Err(MemError::ub(
+                    Ub::AccessDeadAllocation,
+                    format!("{} ({})", id, a.prefix),
+                ));
+            }
+            if !a.contains_range(addr, size) {
+                return Err(MemError::ub(
+                    Ub::AccessOutOfBounds,
+                    format!(
+                        "[{:#x},+{}) outside {} [{:#x},+{})",
+                        addr, size, id, a.base, a.size
+                    ),
+                ));
+            }
+            if access == Access::Store && !a.writable() {
+                return Err(MemError::ub(
+                    Ub::WriteToReadOnly,
+                    format!("{} ({})", id, a.prefix),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    // ── Byte-level helpers ───────────────────────────────────────────────
+
+    fn read_bytes(&self, addr: u64, n: u64) -> Vec<AbsByte> {
+        (0..n)
+            .map(|i| {
+                self.bytes
+                    .get(&(addr + i))
+                    .copied()
+                    .unwrap_or(AbsByte::UNINIT)
+            })
+            .collect()
+    }
+
+    fn write_data_bytes(&mut self, addr: u64, data: &[u8]) {
+        for (i, b) in data.iter().enumerate() {
+            self.bytes.insert(addr + i as u64, AbsByte::data(*b));
+        }
+        self.caps.invalidate_range(
+            addr,
+            addr + data.len() as u64,
+            C::CAP_BYTES as u64,
+            self.cfg.tag_invalidation,
+        );
+        self.stats.stores += 1;
+    }
+
+    /// Raw byte copy without checks (used by realloc internally).
+    fn copy_bytes_raw(&mut self, src: u64, dst: u64, n: u64) {
+        let bytes = self.read_bytes(src, n);
+        for (i, b) in bytes.into_iter().enumerate() {
+            self.bytes.insert(dst + i as u64, b);
+        }
+        // The copy is a (possibly partial) representation write to the
+        // destination: any capability whose slot it touches is invalidated…
+        let cb = C::CAP_BYTES as u64;
+        self.caps
+            .invalidate_range(dst, dst + n, cb, self.cfg.tag_invalidation);
+        // …and then capability-aligned, fully-copied slots get the source
+        // metadata transferred (§3.5: memcpy uses capability-sized accesses
+        // where possible, preserving tags).
+        if src % cb == dst % cb {
+            let mut slot = (src + cb - 1) & !(cb - 1);
+            while slot + cb <= src + n {
+                let meta = self.caps.get(slot);
+                self.caps.set(dst + (slot - src), meta);
+                slot += cb;
+            }
+        }
+    }
+
+    /// The `expose(A, I_tainted)` step of the load rule: loading pointer
+    /// bytes at an integer type exposes the allocations those bytes point
+    /// into (clause (2g) of §4.3).
+    fn expose_tainted(&mut self, bytes: &[AbsByte]) {
+        let tainted: Vec<AllocId> = bytes.iter().filter_map(|b| b.prov.alloc_id()).collect();
+        for id in tainted {
+            if let Some(a) = self.allocations.get_mut(&id) {
+                if a.alive {
+                    a.exposed = true;
+                }
+            }
+        }
+    }
+
+    // ── Scalar loads and stores ──────────────────────────────────────────
+
+    /// Load an integer of `size` bytes. `want_intptr` selects the
+    /// `(u)intptr_t` behaviour: a capability value is reconstructed from the
+    /// stored representation and metadata (§4.3).
+    ///
+    /// # Errors
+    ///
+    /// All the UBs of the load rule: capability and provenance check
+    /// failures, and uninitialised reads.
+    pub fn load_int(
+        &mut self,
+        p: &PtrVal<C>,
+        size: u64,
+        signed: bool,
+        want_intptr: bool,
+    ) -> MemResult<IntVal<C>> {
+        self.check_access(p, size, Access::Load)?;
+        let addr = p.addr();
+        let bytes = self.read_bytes(addr, size);
+        if bytes.iter().any(|b| !b.is_init()) {
+            if bytes.iter().any(|b| b.is_init()) && want_intptr {
+                // Partially-initialised capability representation: a trap
+                // representation (§4.2, UB012).
+                return Err(MemError::ub(
+                    Ub::LvalueReadTrapRepresentation,
+                    "partially initialised capability representation",
+                ));
+            }
+            return Err(MemError::ub(
+                Ub::UninitialisedRead,
+                format!("read of uninitialised memory at {addr:#x}"),
+            ));
+        }
+        self.stats.loads += 1;
+        self.tr(|| format!("load {addr:#x} size={size} intptr={want_intptr}"));
+        let raw: Vec<u8> = bytes.iter().map(|b| b.value.unwrap_or(0)).collect();
+        if want_intptr && self.cfg.capabilities && size == C::CAP_BYTES as u64 {
+            let prov = recover_provenance(&bytes);
+            let (cap, ghost_extra) = if addr.is_multiple_of(C::CAP_BYTES as u64) {
+                let meta = self.caps.get(addr);
+                let cap = C::decode(&raw, meta.tag)
+                    .ok_or_else(|| MemError::Fail("capability decode".into()))?;
+                (cap.with_ghost(meta.ghost), GhostState::CLEAN)
+            } else {
+                let cap = C::decode(&raw, false)
+                    .ok_or_else(|| MemError::Fail("capability decode".into()))?;
+                (cap, GhostState::CLEAN)
+            };
+            let cap = cap.with_ghost(cap.ghost().join(ghost_extra));
+            return Ok(IntVal::Cap {
+                signed,
+                cap,
+                prov,
+            });
+        }
+        // Plain integer: examining these bytes exposes any pointer
+        // representations they belong to (PNVI-ae).
+        self.expose_tainted(&bytes);
+        let mut v: i128 = 0;
+        for (i, b) in raw.iter().enumerate() {
+            v |= i128::from(*b) << (8 * i);
+        }
+        if signed && size < 16 {
+            let shift = 128 - 8 * size as u32;
+            v = (v << shift) >> shift;
+        }
+        Ok(IntVal::Num(v))
+    }
+
+    /// Store an integer of `size` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Capability/provenance check failures as for loads, plus
+    /// [`Ub::WriteToReadOnly`].
+    pub fn store_int(&mut self, p: &PtrVal<C>, size: u64, v: &IntVal<C>) -> MemResult<()> {
+        self.check_access(p, size, Access::Store)?;
+        let addr = p.addr();
+        self.tr(|| format!("store {addr:#x} size={size}"));
+        match v {
+            IntVal::Cap { cap, prov, .. }
+                if self.cfg.capabilities && size == C::CAP_BYTES as u64 =>
+            {
+                self.store_cap_bytes(addr, cap, *prov)
+            }
+            _ => {
+                let n = v.value();
+                let data: Vec<u8> = (0..size).map(|i| (n >> (8 * i)) as u8).collect();
+                self.write_data_bytes(addr, &data);
+                Ok(())
+            }
+        }
+    }
+
+    /// Load a pointer value (the §4.3 load rule at pointer type).
+    ///
+    /// # Errors
+    ///
+    /// As for [`CheriMemory::load_int`].
+    pub fn load_ptr(&mut self, p: &PtrVal<C>) -> MemResult<PtrVal<C>> {
+        let size = self.pointer_bytes() as u64;
+        self.check_access(p, size, Access::Load)?;
+        let addr = p.addr();
+        let bytes = self.read_bytes(addr, size);
+        if bytes.iter().any(|b| !b.is_init()) {
+            if bytes.iter().any(|b| b.is_init()) {
+                return Err(MemError::ub(
+                    Ub::LvalueReadTrapRepresentation,
+                    "partially initialised pointer representation",
+                ));
+            }
+            return Err(MemError::ub(
+                Ub::UninitialisedRead,
+                format!("read of uninitialised pointer at {addr:#x}"),
+            ));
+        }
+        self.stats.loads += 1;
+        let raw: Vec<u8> = bytes.iter().map(|b| b.value.unwrap_or(0)).collect();
+        let prov = recover_provenance(&bytes);
+        if self.cfg.capabilities {
+            let (tag, ghost) = if addr.is_multiple_of(C::CAP_BYTES as u64) {
+                let meta = self.caps.get(addr);
+                (meta.tag, meta.ghost)
+            } else {
+                (false, GhostState::CLEAN)
+            };
+            let cap = C::decode(&raw, tag)
+                .ok_or_else(|| MemError::Fail("capability decode".into()))?
+                .with_ghost(ghost);
+            Ok(PtrVal::new(prov, cap))
+        } else {
+            let mut a: u64 = 0;
+            for (i, b) in raw.iter().enumerate() {
+                a |= u64::from(*b) << (8 * i);
+            }
+            Ok(PtrVal::new(prov, C::root().with_address(a)))
+        }
+    }
+
+    /// Store a pointer value.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CheriMemory::store_int`].
+    pub fn store_ptr(&mut self, p: &PtrVal<C>, v: &PtrVal<C>) -> MemResult<()> {
+        let size = self.pointer_bytes() as u64;
+        self.check_access(p, size, Access::Store)?;
+        if self.cfg.capabilities {
+            self.store_cap_bytes(p.addr(), &v.cap, v.prov)
+        } else {
+            let a = v.addr();
+            let addr = p.addr();
+            for i in 0..size {
+                self.bytes.insert(
+                    addr + i,
+                    AbsByte::pointer(v.prov, (a >> (8 * i)) as u8, i as u8),
+                );
+            }
+            self.stats.stores += 1;
+            Ok(())
+        }
+    }
+
+    fn store_cap_bytes(&mut self, addr: u64, cap: &C, prov: Provenance) -> MemResult<()> {
+        let enc = cap.encode();
+        let cb = C::CAP_BYTES as u64;
+        for (i, b) in enc.iter().enumerate() {
+            self.bytes
+                .insert(addr + i as u64, AbsByte::pointer(prov, *b, i as u8));
+        }
+        if addr.is_multiple_of(cb) {
+            self.caps.set(
+                addr,
+                SlotMeta {
+                    tag: cap.tag(),
+                    ghost: cap.ghost(),
+                },
+            );
+        } else {
+            // Misaligned capability store: the tag cannot be represented.
+            self.caps
+                .invalidate_range(addr, addr + cb, cb, self.cfg.tag_invalidation);
+        }
+        self.stats.stores += 1;
+        Ok(())
+    }
+
+    // ── memcpy / memset / memcmp ─────────────────────────────────────────
+
+    /// `memcpy` / `memmove`: copies bytes *and* capability metadata for
+    /// capability-aligned chunks, as CHERI C requires (§3.5: "memcpy must be
+    /// implemented with capability-sized and aligned accesses where
+    /// possible, to preserve pointers").
+    ///
+    /// # Errors
+    ///
+    /// Access-check failures on either range.
+    pub fn memcpy(&mut self, dst: &PtrVal<C>, src: &PtrVal<C>, n: u64) -> MemResult<()> {
+        if n == 0 {
+            return Ok(());
+        }
+        self.check_access(src, n, Access::Load)?;
+        self.check_access(dst, n, Access::Store)?;
+        let (s_addr, d_addr) = (src.addr(), dst.addr());
+        self.tr(|| format!("memcpy {d_addr:#x} <- {s_addr:#x} n={n}"));
+        self.copy_bytes_raw(s_addr, d_addr, n);
+        Ok(())
+    }
+
+    /// `memset`.
+    ///
+    /// # Errors
+    ///
+    /// Access-check failures on the range.
+    pub fn memset(&mut self, dst: &PtrVal<C>, byte: u8, n: u64) -> MemResult<()> {
+        if n == 0 {
+            return Ok(());
+        }
+        self.check_access(dst, n, Access::Store)?;
+        let data = vec![byte; n as usize];
+        self.write_data_bytes(dst.addr(), &data);
+        Ok(())
+    }
+
+    /// `memcmp`.
+    ///
+    /// # Errors
+    ///
+    /// Access-check failures; UB on comparing uninitialised bytes.
+    pub fn memcmp(&mut self, a: &PtrVal<C>, b: &PtrVal<C>, n: u64) -> MemResult<i32> {
+        if n == 0 {
+            return Ok(0);
+        }
+        self.check_access(a, n, Access::Load)?;
+        self.check_access(b, n, Access::Load)?;
+        let ba = self.read_bytes(a.addr(), n);
+        let bb = self.read_bytes(b.addr(), n);
+        for (x, y) in ba.iter().zip(bb.iter()) {
+            let (x, y) = match (x.value, y.value) {
+                (Some(x), Some(y)) => (x, y),
+                _ => {
+                    return Err(MemError::ub(
+                        Ub::UninitialisedRead,
+                        "memcmp of uninitialised bytes",
+                    ))
+                }
+            };
+            if x != y {
+                return Ok(if x < y { -1 } else { 1 });
+            }
+        }
+        Ok(0)
+    }
+
+    // ── Pointer arithmetic and comparison ────────────────────────────────
+
+    /// Pointer + integer (array indexing). Applies the ISO rule (§3.2
+    /// option (a)): in abstract mode, constructing a pointer below the
+    /// allocation or more than one past it is UB. The capability address is
+    /// updated either way, with hardware tag-clearing on
+    /// non-representability.
+    ///
+    /// # Errors
+    ///
+    /// [`Ub::OutOfBoundPtrArithmetic`] in abstract mode.
+    pub fn array_shift(&mut self, p: &PtrVal<C>, elem: u64, index: i64) -> MemResult<PtrVal<C>> {
+        let delta = (elem as i128) * (index as i128);
+        let new_addr = (p.addr() as i128).wrapping_add(delta) as u64;
+        if self.cfg.abstract_ub {
+            if let Some(id) = self.resolve_prov(&p.prov, p.addr(), 0)? {
+                let a = &self.allocations[&id];
+                if !a.contains_or_one_past(new_addr) {
+                    return Err(MemError::ub(
+                        Ub::OutOfBoundPtrArithmetic,
+                        format!(
+                            "{:#x} is outside [{:#x},{:#x}]",
+                            new_addr,
+                            a.base,
+                            a.end()
+                        ),
+                    ));
+                }
+            }
+        }
+        self.stats.representability_checks += 1;
+        Ok(PtrVal::new(p.prov, p.cap.with_address(new_addr)))
+    }
+
+    /// Pointer + byte offset for struct member access; stays within the
+    /// object by construction, so no arithmetic UB check is needed.
+    #[must_use]
+    pub fn member_shift(&self, p: &PtrVal<C>, offset: u64) -> PtrVal<C> {
+        PtrVal::new(p.prov, p.cap.with_address(p.addr().wrapping_add(offset)))
+    }
+
+    /// Pointer subtraction, in units of `elem` bytes.
+    ///
+    /// # Errors
+    ///
+    /// UB when the provenances differ (§3.11 check (2)).
+    pub fn ptr_diff(&mut self, a: &PtrVal<C>, b: &PtrVal<C>, elem: u64) -> MemResult<i64> {
+        if self.cfg.abstract_ub {
+            let ia = self.resolve_prov(&a.prov, a.addr(), 0)?;
+            let ib = self.resolve_prov(&b.prov, b.addr(), 0)?;
+            if ia.is_none() || ia != ib {
+                return Err(MemError::ub(
+                    Ub::PtrDiffDifferentProvenance,
+                    format!("{} vs {}", a.prov, b.prov),
+                ));
+            }
+        }
+        let d = (a.addr() as i128 - b.addr() as i128) / elem.max(1) as i128;
+        Ok(d as i64)
+    }
+
+    /// Relational comparison (`<` etc.). Returns `Ordering` by address.
+    ///
+    /// # Errors
+    ///
+    /// UB when provenances differ, in abstract mode (ISO 6.5.8p5).
+    pub fn ptr_rel_cmp(
+        &mut self,
+        a: &PtrVal<C>,
+        b: &PtrVal<C>,
+    ) -> MemResult<std::cmp::Ordering> {
+        if self.cfg.abstract_ub {
+            let ia = self.resolve_prov(&a.prov, a.addr(), 0)?;
+            let ib = self.resolve_prov(&b.prov, b.addr(), 0)?;
+            if ia.is_none() || ia != ib {
+                return Err(MemError::ub(
+                    Ub::RelationalCompareDifferentProvenance,
+                    format!("{} vs {}", a.prov, b.prov),
+                ));
+            }
+        }
+        Ok(a.addr().cmp(&b.addr()))
+    }
+
+    /// Pointer equality: address-only (§3.6 option (3)) — never UB, and
+    /// deliberately ignores tags, bounds and permissions.
+    #[must_use]
+    pub fn ptr_eq(&self, a: &PtrVal<C>, b: &PtrVal<C>) -> bool {
+        a.addr() == b.addr()
+    }
+
+    // ── Pointer/integer conversions (§3.3, PNVI-ae-udi) ──────────────────
+
+    /// Cast pointer → integer. For `(u)intptr_t` targets the capability is
+    /// preserved (§3.4); for narrower integer types the address is
+    /// truncated. Either way the allocation is marked exposed (PNVI-ae).
+    pub fn cast_ptr_to_int(
+        &mut self,
+        p: &PtrVal<C>,
+        to_intptr: bool,
+        signed: bool,
+        size: u64,
+    ) -> IntVal<C> {
+        self.expose(p.prov);
+        if to_intptr {
+            IntVal::Cap {
+                signed,
+                cap: p.cap.clone(),
+                prov: p.prov,
+            }
+        } else {
+            let mut v = i128::from(p.addr());
+            if size < 16 {
+                let shift = 128 - 8 * size as u32;
+                v = if signed {
+                    (v << shift) >> shift
+                } else {
+                    ((v << shift) as u128 >> shift) as i128
+                };
+            }
+            IntVal::Num(v)
+        }
+    }
+
+    /// Cast integer → pointer. A capability-carrying value keeps its
+    /// capability (round-trip, §3.3); provenance is the carried one when
+    /// still valid, otherwise the PNVI-ae-udi exposed-allocation lookup.
+    /// A pure numeric value yields an untagged null-derived capability.
+    pub fn cast_int_to_ptr(&mut self, v: &IntVal<C>) -> PtrVal<C> {
+        match v {
+            IntVal::Num(0) => PtrVal::null(),
+            IntVal::Num(n) => {
+                let addr = *n as u64;
+                let prov = self.lookup_provenance(addr);
+                PtrVal::new(prov, C::null().with_address(addr))
+            }
+            IntVal::Cap { cap, prov, .. } => {
+                let addr = cap.address();
+                let live = prov
+                    .alloc_id()
+                    .and_then(|id| self.allocations.get(&id))
+                    .is_some_and(|a| a.alive && a.contains_or_one_past(addr));
+                let prov = if live { *prov } else { self.lookup_provenance(addr) };
+                PtrVal::new(prov, cap.clone())
+            }
+        }
+    }
+
+    /// Mark an allocation read-only after initialisation and return a
+    /// read-only capability to it. Used for `const` objects (§3.9): the
+    /// interpreter allocates writable, runs the initialiser, then freezes.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pointer has no resolvable provenance.
+    pub fn freeze_readonly(&mut self, p: &PtrVal<C>) -> MemResult<PtrVal<C>> {
+        let id = self
+            .resolve_prov(&p.prov, p.addr(), 0)?
+            .ok_or_else(|| MemError::Fail("freeze of unknown allocation".into()))?;
+        if let Some(a) = self.allocations.get_mut(&id) {
+            a.readonly = true;
+        }
+        let cap = if self.cfg.capabilities {
+            p.cap.with_perms_and(Perms::data_readonly())
+        } else {
+            p.cap.clone()
+        };
+        Ok(PtrVal::new(p.prov, cap))
+    }
+
+    // ── Introspection ────────────────────────────────────────────────────
+
+    /// The allocation map (diagnostics and tests).
+    #[must_use]
+    pub fn allocations(&self) -> &BTreeMap<AllocId, Allocation> {
+        &self.allocations
+    }
+
+    /// Find the live allocation containing `addr`, if any.
+    #[must_use]
+    pub fn find_live(&self, addr: u64) -> Option<&Allocation> {
+        self.allocations
+            .values()
+            .find(|a| a.alive && addr >= a.base && addr < a.end())
+    }
+
+    /// Number of tagged capabilities currently in memory.
+    #[must_use]
+    pub fn tagged_caps_in_memory(&self) -> usize {
+        self.caps.tagged_count()
+    }
+
+    /// Direct access to the capability metadata of an aligned slot (tests).
+    #[must_use]
+    pub fn cap_meta_at(&self, addr: u64) -> SlotMeta {
+        self.caps.get(addr)
+    }
+}

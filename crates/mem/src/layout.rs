@@ -1,0 +1,157 @@
+//! Allocator address layouts.
+//!
+//! Appendix A of the paper shows that observable differences between CHERI C
+//! implementations for `intptr_t` bitwise masking are driven by where each
+//! implementation's allocator places objects: GCC Morello's stack sits below
+//! 2³¹, so `cap & INT_MAX` leaves the address (and hence representability)
+//! unchanged, while Clang's stacks sit far above 2³², so masking moves the
+//! address out of the representable range and the capability becomes
+//! invalid. These presets reproduce the address ranges observable in the
+//! paper's sample output.
+
+/// Address-space layout used by a memory-model instance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AddressLayout {
+    /// First address handed out for automatic (stack) objects; the stack
+    /// region grows downward from here.
+    pub stack_base: u64,
+    /// Lowest address the stack region may reach.
+    pub stack_limit: u64,
+    /// First address of the heap region (grows upward).
+    pub heap_base: u64,
+    /// One past the last heap address.
+    pub heap_limit: u64,
+    /// First address for globals and functions (grows upward).
+    pub globals_base: u64,
+    /// One past the last globals address.
+    pub globals_limit: u64,
+    /// Human-readable name for diagnostics.
+    pub name: &'static str,
+}
+
+impl AddressLayout {
+    /// The layout used by the Cerberus reference semantics: a 32-bit-style
+    /// address space with the stack just below 2³² (Appendix A shows stack
+    /// addresses like `0xffffe6dc`).
+    #[must_use]
+    pub const fn cerberus() -> Self {
+        AddressLayout {
+            stack_base: 0xFFFF_F000,
+            stack_limit: 0xF000_0000,
+            heap_base: 0x4000_0000,
+            heap_limit: 0x8000_0000,
+            globals_base: 0x0001_0000,
+            globals_limit: 0x1000_0000,
+            name: "cerberus",
+        }
+    }
+
+    /// Clang CHERI-RISC-V under CheriBSD: stack around `0x3fffdfffxx`
+    /// (above 2³², below 2³⁸).
+    #[must_use]
+    pub const fn clang_riscv() -> Self {
+        AddressLayout {
+            stack_base: 0x3F_FFE0_0000,
+            stack_limit: 0x3F_F000_0000,
+            heap_base: 0x3E_0000_0000,
+            heap_limit: 0x3F_0000_0000,
+            globals_base: 0x10_1000_0000,
+            globals_limit: 0x10_2000_0000,
+            name: "clang-riscv",
+        }
+    }
+
+    /// Clang Morello under CheriBSD: stack around `0xfffffff7ffxx`
+    /// (just below 2⁴⁸).
+    #[must_use]
+    pub const fn clang_morello() -> Self {
+        AddressLayout {
+            stack_base: 0xFFFF_FFF8_0000,
+            stack_limit: 0xFFFF_F000_0000,
+            heap_base: 0x4_0000_0000,
+            heap_limit: 0x5_0000_0000,
+            globals_base: 0x1_0000_0000,
+            globals_limit: 0x1_1000_0000,
+            name: "clang-morello",
+        }
+    }
+
+    /// GCC Morello bare-metal (newlib): everything below 2³¹ — the stack at
+    /// `0x7fffffxx`, which is why Appendix A shows no invalidation for GCC.
+    #[must_use]
+    pub const fn gcc_morello() -> Self {
+        AddressLayout {
+            stack_base: 0x8000_0000,
+            stack_limit: 0x7000_0000,
+            heap_base: 0x2000_0000,
+            heap_limit: 0x3000_0000,
+            globals_base: 0x0001_0000,
+            globals_limit: 0x1000_0000,
+            name: "gcc-morello",
+        }
+    }
+
+    /// A small layout for a 32-bit (CHERIoT-style) address space.
+    #[must_use]
+    pub const fn embedded32() -> Self {
+        AddressLayout {
+            stack_base: 0x2000_F000,
+            stack_limit: 0x2000_0000,
+            heap_base: 0x2001_0000,
+            heap_limit: 0x2008_0000,
+            globals_base: 0x1000_0000,
+            globals_limit: 0x1010_0000,
+            name: "embedded32",
+        }
+    }
+}
+
+impl Default for AddressLayout {
+    fn default() -> Self {
+        AddressLayout::cerberus()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cerberus_stack_is_32bit_high() {
+        let l = AddressLayout::cerberus();
+        assert!(l.stack_base <= u64::from(u32::MAX));
+        assert!(l.stack_base > 0x8000_0000); // above INT_MAX: `& INT_MAX` moves it
+    }
+
+    #[test]
+    fn gcc_stack_below_int_max() {
+        let l = AddressLayout::gcc_morello();
+        assert!(l.stack_base <= 0x8000_0000); // `& INT_MAX` is identity below here
+    }
+
+    #[test]
+    fn clang_stacks_above_uint_max() {
+        assert!(AddressLayout::clang_riscv().stack_base > u64::from(u32::MAX));
+        assert!(AddressLayout::clang_morello().stack_base > u64::from(u32::MAX));
+    }
+
+    #[test]
+    fn regions_are_disjoint() {
+        for l in [
+            AddressLayout::cerberus(),
+            AddressLayout::clang_riscv(),
+            AddressLayout::clang_morello(),
+            AddressLayout::gcc_morello(),
+            AddressLayout::embedded32(),
+        ] {
+            let mut regions = [
+                (l.stack_limit, l.stack_base),
+                (l.heap_base, l.heap_limit),
+                (l.globals_base, l.globals_limit),
+            ];
+            regions.sort();
+            assert!(regions[0].1 <= regions[1].0, "{}: stack/heap overlap", l.name);
+            assert!(regions[1].1 <= regions[2].0, "{}: heap/globals overlap", l.name);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based tests of the memory object model: random well-defined
+//! operation sequences checked against a shadow model, and the model's
+//! safety invariants.
+
+use proptest::prelude::*;
+
+use cheri_cap::{Capability, MorelloCap};
+
+use crate::{CheriMemory, IntVal, MemConfig, PtrVal};
+
+type Mem = CheriMemory<MorelloCap>;
+
+/// A well-defined operation on a set of live allocations.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Allocate `size` bytes (as object k).
+    Alloc { size: u8 },
+    /// Store `val` at byte offset `off % size` (4-byte aligned within).
+    Store { target: u8, off: u8, val: i32 },
+    /// Load from a previously-stored offset and check the shadow.
+    Load { target: u8, off: u8 },
+    /// memcpy between two allocations (length clamped in-bounds).
+    Copy { from: u8, to: u8, len: u8 },
+    /// memset a prefix.
+    Set { target: u8, byte: u8, len: u8 },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (8u8..64).prop_map(|size| Op::Alloc { size }),
+            (any::<u8>(), any::<u8>(), any::<i32>())
+                .prop_map(|(target, off, val)| Op::Store { target, off, val }),
+            (any::<u8>(), any::<u8>()).prop_map(|(target, off)| Op::Load { target, off }),
+            (any::<u8>(), any::<u8>(), 1u8..32)
+                .prop_map(|(from, to, len)| Op::Copy { from, to, len }),
+            (any::<u8>(), any::<u8>(), 1u8..32)
+                .prop_map(|(target, byte, len)| Op::Set { target, byte, len }),
+        ],
+        1..60,
+    )
+}
+
+/// Shadow model: per allocation, a byte array mirroring what the program
+/// wrote (None = uninitialised).
+struct Shadow {
+    allocs: Vec<(PtrVal<MorelloCap>, Vec<Option<u8>>)>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every in-bounds operation sequence is defined, and loads return
+    /// exactly what the shadow model predicts.
+    #[test]
+    fn defined_sequences_match_shadow(ops in arb_ops()) {
+        let mut mem = Mem::new(MemConfig::cheri_reference());
+        let mut sh = Shadow { allocs: Vec::new() };
+        for op in ops {
+            match op {
+                Op::Alloc { size } => {
+                    let size = u64::from(size).max(4);
+                    let p = mem.allocate_region(size, 16).expect("allocate");
+                    sh.allocs.push((p, vec![None; size as usize]));
+                }
+                Op::Store { target, off, val } => {
+                    if sh.allocs.is_empty() { continue; }
+                    let t = usize::from(target) % sh.allocs.len();
+                    let (base, shadow) = &mut sh.allocs[t];
+                    let max_off = shadow.len() - 4;
+                    let off = (usize::from(off) % (max_off / 4 + 1)) * 4;
+                    let p = mem.array_shift(base, 1, off as i64).expect("shift");
+                    mem.store_int(&p, 4, &IntVal::Num(i128::from(val))).expect("store");
+                    for (i, b) in val.to_le_bytes().iter().enumerate() {
+                        shadow[off + i] = Some(*b);
+                    }
+                }
+                Op::Load { target, off } => {
+                    if sh.allocs.is_empty() { continue; }
+                    let t = usize::from(target) % sh.allocs.len();
+                    let (base, shadow) = &sh.allocs[t];
+                    let max_off = shadow.len() - 4;
+                    let off = (usize::from(off) % (max_off / 4 + 1)) * 4;
+                    let bytes: Option<Vec<u8>> =
+                        shadow[off..off + 4].iter().copied().collect();
+                    let p = mem.array_shift(base, 1, off as i64).expect("shift");
+                    if let Some(bytes) = bytes {
+                        let want = i32::from_le_bytes(bytes.try_into().expect("4 bytes"));
+                        let got = mem.load_int(&p, 4, true, false).expect("load");
+                        prop_assert_eq!(got.value(), i128::from(want));
+                    } else {
+                        // Uninitialised (fully or partially): UB, not a panic.
+                        prop_assert!(mem.load_int(&p, 4, true, false).is_err());
+                    }
+                }
+                Op::Copy { from, to, len } => {
+                    if sh.allocs.len() < 2 { continue; }
+                    let f = usize::from(from) % sh.allocs.len();
+                    let mut t = usize::from(to) % sh.allocs.len();
+                    if f == t { t = (t + 1) % sh.allocs.len(); }
+                    let n = usize::from(len)
+                        .min(sh.allocs[f].1.len())
+                        .min(sh.allocs[t].1.len());
+                    let src = sh.allocs[f].0.clone();
+                    let dst = sh.allocs[t].0.clone();
+                    mem.memcpy(&dst, &src, n as u64).expect("memcpy");
+                    let copied: Vec<Option<u8>> = sh.allocs[f].1[..n].to_vec();
+                    sh.allocs[t].1[..n].copy_from_slice(&copied);
+                }
+                Op::Set { target, byte, len } => {
+                    if sh.allocs.is_empty() { continue; }
+                    let t = usize::from(target) % sh.allocs.len();
+                    let n = usize::from(len).min(sh.allocs[t].1.len());
+                    let dst = sh.allocs[t].0.clone();
+                    mem.memset(&dst, byte, n as u64).expect("memset");
+                    for b in &mut sh.allocs[t].1[..n] {
+                        *b = Some(byte);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Unforgeability at the model level: the number of *tagged*
+    /// capabilities in memory only grows through capability stores
+    /// (store_ptr / capability-preserving memcpy); data writes never mint
+    /// tags.
+    #[test]
+    fn data_writes_never_mint_tags(
+        writes in prop::collection::vec((any::<u8>(), any::<u8>()), 1..40)
+    ) {
+        let mut mem = Mem::new(MemConfig::cheri_reference());
+        let x = mem.allocate_object("x", 4, 4, false, Some(&[0; 4])).expect("x");
+        let slots = mem.allocate_object("slots", 16 * 8, 16, false, None).expect("slots");
+        for i in 0..8 {
+            let p = mem.array_shift(&slots, 16, i).expect("shift");
+            mem.store_ptr(&p, &x).expect("store");
+        }
+        let before = mem.tagged_caps_in_memory();
+        for (off, val) in writes {
+            let off = i64::from(off) % (16 * 8 - 4);
+            let p = mem.array_shift(&slots, 1, off).expect("shift");
+            mem.store_int(&p, 4, &IntVal::Num(i128::from(val))).expect("store");
+            prop_assert!(mem.tagged_caps_in_memory() <= before);
+        }
+    }
+
+    /// Temporal invariant: after kill, every access through any pointer
+    /// into the allocation is UB (abstract machine), regardless of offset.
+    #[test]
+    fn killed_allocations_unreachable(size in 4u64..64, offs in prop::collection::vec(any::<u8>(), 1..8)) {
+        let mut mem = Mem::new(MemConfig::cheri_reference());
+        let size = size & !3;
+        let p = mem.allocate_region(size.max(4), 16).expect("malloc");
+        mem.memset(&p, 1, size.max(4)).expect("memset");
+        mem.kill(&p, true).expect("free");
+        for off in offs {
+            let off = u64::from(off) % size.max(4);
+            let q = PtrVal::new(p.prov, p.cap.with_address(p.addr() + off));
+            prop_assert!(mem.load_int(&q, 1, false, false).is_err());
+        }
+    }
+
+    /// Capability stores round-trip through memory at any aligned slot and
+    /// preserve every field.
+    #[test]
+    fn pointer_store_load_roundtrip(slot in 0u64..16, narrow in any::<bool>()) {
+        let mut mem = Mem::new(MemConfig::cheri_reference());
+        let x = mem.allocate_object("x", 64, 16, false, Some(&[0; 64])).expect("x");
+        let v = if narrow {
+            PtrVal::new(x.prov, x.cap.with_bounds(x.addr() + 16, 16))
+        } else {
+            x.clone()
+        };
+        let slots = mem.allocate_object("slots", 16 * 16, 16, false, None).expect("slots");
+        let p = mem.array_shift(&slots, 16, slot as i64).expect("shift");
+        mem.store_ptr(&p, &v).expect("store");
+        let back = mem.load_ptr(&p).expect("load");
+        prop_assert_eq!(back.prov, v.prov);
+        prop_assert!(back.cap.exact_eq(&v.cap));
+    }
+}

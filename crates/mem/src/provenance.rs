@@ -1,0 +1,98 @@
+//! Pointer provenance, PNVI-ae-udi style.
+//!
+//! §2.3 of the paper: "the C abstract machine associates a provenance, which
+//! is either an allocation unique ID or empty, with every pointer value",
+//! plus the *-udi* (user-disambiguation) refinement where an
+//! integer-to-pointer cast landing on the boundary between two exposed
+//! allocations gets a symbolic provenance (here [`Provenance::Iota`]) that is
+//! resolved at first use.
+
+use std::fmt;
+
+/// Unique identifier of an allocation (the `@i` of the paper's notation).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AllocId(pub u64);
+
+impl fmt::Display for AllocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// Identifier of an unresolved symbolic provenance (PNVI-ae-udi's ι).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct IotaId(pub u64);
+
+impl fmt::Display for IotaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ι{}", self.0)
+    }
+}
+
+/// The provenance component of a pointer value (π in §4.3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Provenance {
+    /// No provenance: the pointer cannot be used for access.
+    #[default]
+    Empty,
+    /// Provenance of a specific allocation.
+    Alloc(AllocId),
+    /// Symbolic provenance from an ambiguous integer-to-pointer cast,
+    /// resolved to one of (up to) two candidate allocations at first use.
+    Iota(IotaId),
+}
+
+impl Provenance {
+    /// The allocation ID, if resolved.
+    #[must_use]
+    pub fn alloc_id(self) -> Option<AllocId> {
+        match self {
+            Provenance::Alloc(id) => Some(id),
+            _ => None,
+        }
+    }
+
+    /// Is this the empty provenance?
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        matches!(self, Provenance::Empty)
+    }
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Provenance::Empty => write!(f, "@empty"),
+            Provenance::Alloc(id) => write!(f, "{id}"),
+            Provenance::Iota(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// State of an unresolved iota: the candidate allocations it may resolve to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IotaState {
+    /// Still ambiguous between two allocations.
+    Ambiguous(AllocId, AllocId),
+    /// Resolved (by a use) to one allocation.
+    Resolved(AllocId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Provenance::Alloc(AllocId(86)).to_string(), "@86");
+        assert_eq!(Provenance::Empty.to_string(), "@empty");
+        assert_eq!(Provenance::Iota(IotaId(3)).to_string(), "ι3");
+    }
+
+    #[test]
+    fn default_is_empty() {
+        assert!(Provenance::default().is_empty());
+        assert_eq!(Provenance::Alloc(AllocId(1)).alloc_id(), Some(AllocId(1)));
+        assert_eq!(Provenance::Empty.alloc_id(), None);
+    }
+}

@@ -1,0 +1,186 @@
+//! The CHERI C validation test suite.
+//!
+//! §5 of the paper: "We developed a test suite of 94 tests exercising and
+//! demonstrating various aspects of CHERI C semantics, especially where they
+//! may be unclear or differ from ISO C. Table 1 summarizes the semantic
+//! categories along with the number of tests that cover each category."
+//!
+//! This crate contains 94 C test programs, each tagged with the semantic
+//! categories it covers (tests cover several categories, which is why the
+//! Table 1 counts sum to more than 94), together with expected outcomes
+//! under the reference semantics and under the emulated hardware
+//! implementations, and a harness that runs the whole suite under every
+//! implementation profile and reports agreement — regenerating Table 1 and
+//! the §5 compliance summary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+mod suite;
+
+use cheri_mem::Ub;
+
+/// The semantic categories of Table 1, in the paper's row order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum Category {
+    Alignment,
+    Allocator,
+    ArrayAddresses,
+    Offsetting,
+    CapAssignment,
+    CallingConvention,
+    Casts,
+    Const,
+    Equality,
+    FunctionPointers,
+    GlobalVsLocal,
+    Initialization,
+    UIntPtrProperties,
+    UIntPtrArithmetic,
+    UIntPtrBitwise,
+    Intrinsics,
+    Unforgeability,
+    MorelloEncoding,
+    NullCapabilities,
+    OnePast,
+    OutOfBoundsAccess,
+    OptimisationEffects,
+    Permissions,
+    Provenance,
+    PtrAddr,
+    PtrArithImpl,
+    PtrIntConversion,
+    RelationalOperators,
+    Representability,
+    RepresentationAccess,
+    UseAfterFree,
+    Signedness,
+    StdlibFunctions,
+    SubobjectBounds,
+}
+
+impl Category {
+    /// Every category in Table 1 row order, with the paper's description
+    /// and the number of tests that cover it.
+    pub const TABLE1: &'static [(Category, &'static str, usize)] = &[
+        (Category::Alignment, "Checking capability alignment in the memory.", 10),
+        (Category::Allocator, "Memory allocator interface (locals, globals, and heap).", 10),
+        (Category::ArrayAddresses, "Capabilities produced by taking addresses of arrays and their elements.", 2),
+        (Category::Offsetting, "Operations offseting pointers as in taking an address of array element at an index.", 3),
+        (Category::CapAssignment, "Assigning constants and values of capability-carrying types to capability-typed variables.", 2),
+        (Category::CallingConvention, "Issues related to calling convention: passing arguments, variable argument functions, etc.", 1),
+        (Category::Casts, "Implicit/explicit casts between capability-carrying types.", 5),
+        (Category::Const, "C const modifier and its effects on capabilities.", 5),
+        (Category::Equality, "Equality between capability-carrying types.", 10),
+        (Category::FunctionPointers, "Pointers to functions.", 11),
+        (Category::GlobalVsLocal, "Pointers to global vs. local variables.", 6),
+        (Category::Initialization, "Initialization of variables carrying capabilities.", 4),
+        (Category::UIntPtrProperties, "Properties and definition of (u)intptr_t types.", 19),
+        (Category::UIntPtrArithmetic, "Arithmetic operations on (u)intptr_t values.", 9),
+        (Category::UIntPtrBitwise, "Bitwise operations on (u)intptr_t values.", 3),
+        (Category::Intrinsics, "Semantics of CHERI C intrinsic functions (e.g, permission manipulation).", 16),
+        (Category::Unforgeability, "Unforgeability enforcement for capabilities.", 15),
+        (Category::MorelloEncoding, "Capabilities encoding for Arm Morello architecture.", 6),
+        (Category::NullCapabilities, "null pointers and NULL constant as capabilities.", 6),
+        (Category::OnePast, "ISO-legal pointers one-past an object's footprint and their bounds.", 1),
+        (Category::OutOfBoundsAccess, "Out-of-bounds memory-access handling.", 5),
+        (Category::OptimisationEffects, "Effects of compiler optimisations.", 10),
+        (Category::Permissions, "Capability permissions: setting and enforcement.", 5),
+        (Category::Provenance, "pointer provenance tracking per [18].", 7),
+        (Category::PtrAddr, "New ptraddr_t type definition and usage.", 2),
+        (Category::PtrArithImpl, "Implementation of pointer arithmetic on capabilities.", 2),
+        (Category::PtrIntConversion, "Conversion between pointer and integer types.", 9),
+        (Category::RelationalOperators, "Relational comparison operators (e.g. <,>,<= and >=) for capabilities.", 4),
+        (Category::Representability, "Issues related to potential non-representability of some combinations of capability fields.", 6),
+        (Category::RepresentationAccess, "Tests related to accessing capabilities in-memory representation.", 9),
+        (Category::UseAfterFree, "Accessing memory via capabilities after the region has been deallocated.", 5),
+        (Category::Signedness, "Handling of (un)signed integer types in casts, accessing capability fields, and intrinsics.", 5),
+        (Category::StdlibFunctions, "Standard C library functions handling of capabilities.", 6),
+        (Category::SubobjectBounds, "Sub-objects bound enforcement via capabilities.", 3),
+    ];
+}
+
+/// What outcome a test expects under a given semantics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Expected {
+    /// Normal exit with this code.
+    Exit(i64),
+    /// A specific undefined behaviour.
+    Ub(Ub),
+    /// Any detected undefined behaviour.
+    AnyUb,
+    /// A hardware capability trap.
+    Trap,
+    /// Either UB detection or a trap (a "safety stop").
+    SafetyStop,
+    /// Normal exit 0 *and* stdout/stderr contains this substring.
+    OutputContains(&'static str),
+}
+
+impl Expected {
+    /// Does an actual run result satisfy this expectation?
+    #[must_use]
+    pub fn matches(&self, r: &cheri_core::RunResult) -> bool {
+        use cheri_core::Outcome;
+        match self {
+            Expected::Exit(c) => r.outcome == Outcome::Exit(*c),
+            Expected::Ub(ub) => matches!(&r.outcome, Outcome::Ub { ub: got, .. } if got == ub),
+            Expected::AnyUb => matches!(r.outcome, Outcome::Ub { .. }),
+            Expected::Trap => matches!(r.outcome, Outcome::Trap { .. }),
+            Expected::SafetyStop => r.outcome.is_safety_stop(),
+            Expected::OutputContains(s) => {
+                r.outcome == Outcome::Exit(0) && (r.stdout.contains(s) || r.stderr.contains(s))
+            }
+        }
+    }
+}
+
+/// One test of the suite.
+#[derive(Clone, Debug)]
+pub struct TestCase {
+    /// Unique identifier, e.g. `"uintptr/roundtrip"`.
+    pub id: &'static str,
+    /// The categories this test covers (Table 1 tags).
+    pub cats: &'static [Category],
+    /// One-line description.
+    pub desc: &'static str,
+    /// The C source.
+    pub source: &'static str,
+    /// Expected outcome under the reference (Cerberus) semantics.
+    pub expect_ref: Expected,
+    /// Expected outcome under the emulated hardware implementations at O0
+    /// (all of clang-morello / clang-riscv / gcc-morello unless overridden).
+    pub expect_hw: Expected,
+    /// Per-profile overrides, matched by profile-name prefix; first match
+    /// wins. Models genuine implementation divergence (e.g. GCC's allocator
+    /// layout keeping `cap & INT_MAX` representable, or O3 folding).
+    pub overrides: &'static [(&'static str, Expected)],
+}
+
+impl TestCase {
+    /// The expectation applying to a profile by name.
+    #[must_use]
+    pub fn expected_for(&self, profile_name: &str) -> Expected {
+        for (prefix, e) in self.overrides {
+            if profile_name.starts_with(prefix) {
+                return *e;
+            }
+        }
+        if profile_name == "cerberus" {
+            self.expect_ref
+        } else {
+            self.expect_hw
+        }
+    }
+}
+
+/// All 94 tests of the suite.
+#[must_use]
+pub fn all_tests() -> Vec<TestCase> {
+    suite::all()
+}
+
+#[cfg(test)]
+mod tests;

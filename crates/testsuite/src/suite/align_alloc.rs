@@ -1,0 +1,183 @@
+//! Alignment and allocator-interface tests (Table 1 rows 1–2).
+
+use super::tc;
+use crate::Category::*;
+use crate::Expected::*;
+use crate::TestCase;
+
+pub(crate) fn tests() -> Vec<TestCase> {
+    vec![
+        tc(
+            "align/local-pointer-object",
+            &[Alignment, UIntPtrProperties],
+            "capability-typed locals are capability-aligned in memory",
+            r#"
+            #include <stdint.h>
+            int main(void) {
+              int x = 0;
+              int *px = &x;
+              int **ppx = &px;
+              return (uintptr_t)ppx % sizeof(void*) == 0 ? 0 : 1;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "align/struct-capability-field",
+            &[Alignment],
+            "capability fields inside structs are 16-aligned (padding inserted)",
+            r#"
+            #include <stdint.h>
+            struct s { char c; int *p; };
+            int main(void) {
+              struct s v;
+              assert(sizeof(struct s) == 2 * sizeof(void*));
+              assert((uintptr_t)&v.p % sizeof(void*) == 0);
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "align/malloc-result",
+            &[Alignment, Allocator],
+            "malloc returns capability-aligned memory",
+            r#"
+            #include <stdint.h>
+            int main(void) {
+              void *p = malloc(1);
+              void *q = malloc(3);
+              assert((uintptr_t)p % 16 == 0);
+              assert((uintptr_t)q % 16 == 0);
+              free(p); free(q);
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "align/global-pointer-array",
+            &[Alignment, GlobalVsLocal],
+            "global arrays of pointers are capability-aligned",
+            r#"
+            #include <stdint.h>
+            int *g[3];
+            int main(void) {
+              return (uintptr_t)&g[0] % sizeof(void*) == 0
+                  && (uintptr_t)&g[1] - (uintptr_t)&g[0] == sizeof(void*) ? 0 : 1;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "align/alignof-capability-types",
+            &[Alignment, UIntPtrProperties],
+            "_Alignof of capability-carrying types equals their size",
+            r#"
+            #include <stdint.h>
+            int main(void) {
+              assert(_Alignof(int*) == sizeof(int*));
+              assert(_Alignof(uintptr_t) == sizeof(uintptr_t));
+              assert(_Alignof(intptr_t) == _Alignof(uintptr_t));
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "align/misaligned-capability-store",
+            &[Alignment, RepresentationAccess, Unforgeability],
+            "a capability stored at a misaligned address cannot keep its tag",
+            r#"
+            int main(void) {
+              int x = 0;
+              char buf[64];
+              int *px = &x;
+              /* Copy the capability bytes to an odd offset and back. */
+              memcpy(buf + 1, &px, sizeof(int*));
+              int *q;
+              memcpy(&q, buf + 1, sizeof(int*));
+              *q = 1; /* q lost its tag on the misaligned trip */
+              return 0;
+            }"#,
+            AnyUb,
+            Trap,
+            &[],
+        ),
+        tc(
+            "alloc/local-bounds-match-object",
+            &[Allocator, Intrinsics],
+            "a fresh local's capability bounds exactly cover the object",
+            r#"
+            int main(void) {
+              int x = 0;
+              int a[10];
+              assert(cheri_length_get(&x) == sizeof(int));
+              assert(cheri_length_get(a) == sizeof(a));
+              assert(cheri_base_get(&x) == cheri_address_get(&x));
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "alloc/malloc-bounds-match-request",
+            &[Allocator, Intrinsics],
+            "small heap allocations have exact bounds",
+            r#"
+            int main(void) {
+              char *p = malloc(100);
+              assert(cheri_tag_get(p));
+              assert(cheri_length_get(p) == 100);
+              free(p);
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "alloc/large-malloc-padded-for-representability",
+            &[Allocator, Representability, MorelloEncoding],
+            "large allocations are padded so their capability is exactly representable (§3.2)",
+            r#"
+            int main(void) {
+              size_t want = (1 << 20) + 3;
+              char *p = malloc(want);
+              assert(cheri_tag_get(p));
+              assert(cheri_length_get(p) >= want);
+              assert(cheri_length_get(p) == cheri_representable_length(want));
+              free(p);
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "alloc/stack-direction-and-regions",
+            &[Allocator, GlobalVsLocal, RelationalOperators],
+            "stack objects live above the heap and globals in all profiles",
+            r#"
+            #include <stdint.h>
+            int g;
+            int main(void) {
+              int l;
+              int *h = malloc(4);
+              assert((uintptr_t)&g < (uintptr_t)&l);
+              assert((uintptr_t)h < (uintptr_t)&l);
+              free(h);
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+    ]
+}

@@ -1,0 +1,164 @@
+//! Function-pointer tests (Table 1 row 10).
+
+use super::tc;
+use crate::Category::*;
+use crate::Expected::*;
+use crate::TestCase;
+use cheri_mem::Ub;
+
+pub(crate) fn tests() -> Vec<TestCase> {
+    vec![
+        tc(
+            "fp/basic-indirect-call",
+            &[FunctionPointers],
+            "calling through a function pointer, with and without explicit deref",
+            r#"
+            int add(int a, int b) { return a + b; }
+            int main(void) {
+              int (*f)(int, int) = add;
+              assert(f(2, 3) == 5);
+              assert((*f)(4, 5) == 9);
+              assert((&add)(1, 1) == 2);
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "fp/passing-and-returning",
+            &[FunctionPointers],
+            "function pointers pass through calls like any capability argument",
+            r#"
+            int twice(int x) { return 2 * x; }
+            int thrice(int x) { return 3 * x; }
+            int apply(int (*f)(int), int x) { return f(x); }
+            int (*pick(int which))(int) { return which ? twice : thrice; }
+            int main(void) {
+              assert(apply(pick(1), 10) == 20);
+              assert(apply(pick(0), 10) == 30);
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "fp/table-dispatch",
+            &[FunctionPointers],
+            "arrays of function pointers initialise and dispatch",
+            r#"
+            int zero(void) { return 0; }
+            int one(void) { return 1; }
+            int two(void) { return 2; }
+            int main(void) {
+              int (*table[3])(void) = { zero, one, two };
+              int s = 0;
+              for (int i = 0; i < 3; i++) s += table[i]();
+              return s;
+            }"#,
+            Exit(3),
+            Exit(3),
+            &[],
+        ),
+        tc(
+            "fp/equality-and-null",
+            &[FunctionPointers, Equality, NullCapabilities],
+            "function pointers compare by address; a null function pointer is false",
+            r#"
+            int f(void) { return 1; }
+            int g(void) { return 2; }
+            int main(void) {
+              int (*pf)(void) = f;
+              int (*pg)(void) = g;
+              int (*pn)(void) = 0;
+              assert(pf == f);
+              assert(pf != pg);
+              assert(!pn);
+              assert(pn == NULL);
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "fp/sentry-sealed",
+            &[FunctionPointers, Unforgeability, Intrinsics],
+            "function pointers are sealed entry (sentry) capabilities",
+            r#"
+            int f(void) { return 1; }
+            int main(void) {
+              int (*pf)(void) = f;
+              assert(cheri_tag_get(pf));
+              assert(cheri_is_sealed(pf));
+              assert(cheri_type_get(pf) == 1);   /* sentry otype */
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "fp/untagged-call-faults",
+            &[FunctionPointers, Unforgeability],
+            "calling through a tag-cleared function pointer faults",
+            r#"
+            int f(void) { return 1; }
+            int main(void) {
+              int (*pf)(void) = cheri_tag_clear(f);
+              return pf();
+            }"#,
+            Ub(Ub::CheriInvalidCap),
+            Ub(Ub::CheriInvalidCap),
+            &[],
+        ),
+        tc(
+            "fp/code-capability-not-writable",
+            &[FunctionPointers, Permissions],
+            "function capabilities lack store permission — code is immutable",
+            r#"
+            int f(void) { return 1; }
+            int main(void) {
+              unsigned char *p = (unsigned char *)f;
+              p[0] = 0x90;
+              return 0;
+            }"#,
+            AnyUb,
+            Trap,
+            &[],
+        ),
+        tc(
+            "fp/uintptr-roundtrip",
+            &[FunctionPointers, PtrIntConversion, UIntPtrProperties],
+            "function pointers survive a (u)intptr_t round trip (callbacks in integers)",
+            r#"
+            #include <stdint.h>
+            int f(int x) { return x + 1; }
+            int main(void) {
+              uintptr_t u = (uintptr_t)f;
+              int (*pf)(int) = (int (*)(int))u;
+              return pf(41);
+            }"#,
+            Exit(42),
+            Exit(42),
+            &[],
+        ),
+        tc(
+            "fp/stored-in-struct",
+            &[FunctionPointers, Initialization],
+            "function pointers in struct fields keep their (sealed) capability",
+            r#"
+            struct ops { int (*op)(int, int); int bias; };
+            int mul(int a, int b) { return a * b; }
+            int main(void) {
+              struct ops o = { mul, 5 };
+              assert(cheri_is_sealed(o.op));
+              return o.op(6, 7) + o.bias;
+            }"#,
+            Exit(47),
+            Exit(47),
+            &[],
+        ),
+    ]
+}

@@ -1,0 +1,179 @@
+//! CHERI intrinsics tests (Table 1 rows 16, 23): field accessors, bounds
+//! and permission manipulation, sealing.
+
+use super::tc;
+use crate::Category::*;
+use crate::Expected::*;
+use crate::TestCase;
+use cheri_mem::Ub;
+
+pub(crate) fn tests() -> Vec<TestCase> {
+    vec![
+        tc(
+            "intr/tag-get-clear-is-valid",
+            &[Intrinsics, Unforgeability],
+            "cheri_tag_get / cheri_tag_clear / cheri_is_valid basics",
+            r#"
+            int main(void) {
+              int x;
+              int *p = &x;
+              assert(cheri_tag_get(p));
+              assert(cheri_is_valid(p));
+              int *q = cheri_tag_clear(p);
+              assert(!cheri_tag_get(q));
+              assert(cheri_tag_get(p));   /* p itself unchanged */
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "intr/address-set-nonrepresentable",
+            &[Intrinsics, Representability, Unforgeability],
+            "cheri_address_set far outside clears the tag but keeps the requested address (§3.2)",
+            r#"
+            int main(void) {
+              int x;
+              int *p = &x;
+              size_t far = cheri_address_get(p) + (1 << 24);
+              int *q = cheri_address_set(p, far);
+              assert(!cheri_tag_get(q));
+              assert(cheri_address_get(q) == far);
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "intr/bounds-set-narrowing-enforced",
+            &[Intrinsics, SubobjectBounds],
+            "cheri_bounds_set narrows; access past the narrowed top is caught",
+            r#"
+            int main(void) {
+              char buf[16];
+              char *p = cheri_bounds_set(buf, 8);
+              assert(cheri_length_get(p) == 8);
+              p[7] = 1;    /* fine */
+              p[8] = 1;    /* narrowed bound exceeded */
+              return 0;
+            }"#,
+            Ub(Ub::CheriBoundsViolation),
+            Trap,
+            &[],
+        ),
+        tc(
+            "intr/bounds-set-exact-untags-imprecise",
+            &[Intrinsics, Representability],
+            "cheri_bounds_set_exact clears the tag when the length is not exactly representable",
+            r#"
+            int main(void) {
+              char *big = malloc((1 << 20) + 64);
+              size_t odd = (1 << 20) + 3;   /* not representable exactly */
+              char *q = cheri_bounds_set_exact(big, odd);
+              assert(!cheri_tag_get(q));
+              char *r = cheri_bounds_set(big, odd); /* rounds outward */
+              assert(cheri_tag_get(r));
+              assert(cheri_length_get(r) >= odd);
+              free(big);
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "intr/perms-and-enforced",
+            &[Intrinsics, Permissions],
+            "dropping the store permission makes writes fault (§3.9 mechanism)",
+            r#"
+            int main(void) {
+              int x = 1;
+              int *p = &x;
+              /* keep LOAD (bit 17) only */
+              int *ro = cheri_perms_and(p, (size_t)1 << 17);
+              assert(*ro == 1);
+              *ro = 2;
+              return 0;
+            }"#,
+            Ub(Ub::CheriInsufficientPermissions),
+            Trap,
+            &[],
+        ),
+        tc(
+            "intr/perms-cannot-be-regained",
+            &[Intrinsics, Permissions, Unforgeability],
+            "permission clearing is monotone: and-ing with all ones restores nothing",
+            r#"
+            int main(void) {
+              int x;
+              int *p = &x;
+              size_t all = ~(size_t)0;
+              int *less = cheri_perms_and(p, (size_t)1 << 17);
+              int *back = cheri_perms_and(less, all);
+              assert(cheri_perms_get(back) == cheri_perms_get(less));
+              assert(cheri_perms_get(back) != cheri_perms_get(p));
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "intr/seal-unseal-roundtrip",
+            &[Intrinsics, Unforgeability],
+            "sealing makes a capability immutable and unusable until unsealed",
+            r#"
+            int main(void) {
+              int x = 5;
+              int *p = &x;
+              void *sealer = cheri_address_set(cheri_ddc_get(), 42);
+              int *s = cheri_seal(p, sealer);
+              assert(cheri_is_sealed(s));
+              assert(cheri_type_get(s) == 42);
+              int *u = cheri_unseal(s, sealer);
+              assert(!cheri_is_sealed(u));
+              return *u;
+            }"#,
+            Exit(5),
+            Exit(5),
+            &[],
+        ),
+        tc(
+            "intr/sealed-capability-unusable",
+            &[Intrinsics, Unforgeability],
+            "dereferencing a sealed capability faults",
+            r#"
+            int main(void) {
+              int x = 5;
+              void *sealer = cheri_address_set(cheri_ddc_get(), 7);
+              int *s = cheri_seal(&x, sealer);
+              return *s;
+            }"#,
+            Ub(Ub::CheriInvalidCap),
+            Trap,
+            &[],
+        ),
+        tc(
+            "intr/representable-length-and-mask",
+            &[Intrinsics, Representability, MorelloEncoding],
+            "cheri_representable_length / _alignment_mask compose to exact bounds",
+            r#"
+            int main(void) {
+              size_t len = (1 << 16) + 7;
+              size_t rlen = cheri_representable_length(len);
+              size_t mask = cheri_representable_alignment_mask(len);
+              assert(rlen >= len);
+              assert((rlen & ~mask) == 0);
+              /* small lengths are exactly representable */
+              assert(cheri_representable_length(100) == 100);
+              assert(cheri_representable_alignment_mask(100) == ~(size_t)0);
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+    ]
+}

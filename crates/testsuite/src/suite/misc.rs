@@ -1,0 +1,366 @@
+//! Const, initialisation, temporal-safety, null, provenance and
+//! miscellaneous tests (Table 1 rows 5–8, 12, 19, 24, 31, 33).
+
+use super::tc;
+use crate::Category::*;
+use crate::Expected::*;
+use crate::TestCase;
+use cheri_mem::Ub;
+
+pub(crate) fn tests() -> Vec<TestCase> {
+    vec![
+        tc(
+            "const/object-write-rejected",
+            &[Const, Permissions],
+            "§3.9: writing a const-qualified object through a cast is stopped by the capability",
+            r#"
+            int main(void) {
+              const int c = 1;
+              int *p = (int*)&c;
+              *p = 2;
+              return c;
+            }"#,
+            AnyUb,
+            Trap,
+            &[],
+        ),
+        tc(
+            "const/cast-roundtrip-is-noop",
+            &[Const, Casts],
+            "§3.9: non-const → const → non-const casts are no-ops on the capability",
+            r#"
+            int main(void) {
+              int x = 1;
+              const int *cp = &x;
+              assert(*cp == 1);
+              int *p = (int*)cp;
+              *p = 5;           /* legal: the object is not const */
+              return x;
+            }"#,
+            Exit(5),
+            Exit(5),
+            &[],
+        ),
+        tc(
+            "const/readonly-capability-perms",
+            &[Const, Permissions, Intrinsics],
+            "a pointer to a const object lacks store permissions (§3.9)",
+            r#"
+            int main(void) {
+              const int c = 3;
+              const int *p = &c;
+              size_t store_bit = (size_t)1 << 16;
+              assert(!(cheri_perms_get(p) & store_bit));
+              int x = 0;
+              assert(cheri_perms_get(&x) & store_bit);
+              return *p;
+            }"#,
+            Exit(3),
+            Exit(3),
+            &[],
+        ),
+        tc(
+            "const/string-literal-immutable",
+            &[Const, StdlibFunctions],
+            "string literals are read-only objects",
+            r#"
+            int main(void) {
+              char *s = (char*)"hello";
+              s[0] = 'H';
+              return 0;
+            }"#,
+            AnyUb,
+            Trap,
+            &[],
+        ),
+        tc(
+            "const/global-const-table",
+            &[Const, GlobalVsLocal, Initialization],
+            "const globals are initialised then frozen read-only",
+            r#"
+            const int table[3] = {10, 20, 30};
+            int main(void) {
+              int s = table[0] + table[1] + table[2];
+              assert(s == 60);
+              int *p = (int*)&table[1];
+              *p = 99;
+              return 0;
+            }"#,
+            AnyUb,
+            Trap,
+            &[],
+        ),
+        tc(
+            "init/uninitialised-read",
+            &[Initialization],
+            "reading an uninitialised local is undefined",
+            r#"
+            int main(void) {
+              int x;
+              return x;
+            }"#,
+            Ub(Ub::UninitialisedRead),
+            Ub(Ub::UninitialisedRead),
+            &[],
+        ),
+        tc(
+            "init/globals-zero-initialised",
+            &[Initialization, NullCapabilities, GlobalVsLocal, Allocator, FunctionPointers],
+            "objects with static storage are zero-initialised; a zeroed pointer is null",
+            r#"
+            int *gp;
+            int gi;
+            int (*gf)(void);
+            int main(void) {
+              assert(gi == 0);
+              assert(gp == NULL);
+              assert(gf == NULL);      /* zeroed function pointer is null */
+              assert(!cheri_tag_get(gp));
+              assert(!cheri_tag_get(gf));
+              return *gp;     /* null dereference */
+            }"#,
+            Ub(Ub::NullDereference),
+            Ub(Ub::NullDereference),
+            &[],
+        ),
+        tc(
+            "null/dereference-faults",
+            &[NullCapabilities],
+            "dereferencing NULL is caught",
+            r#"
+            int main(void) {
+              int *p = NULL;
+              return *p;
+            }"#,
+            Ub(Ub::NullDereference),
+            Ub(Ub::NullDereference),
+            &[],
+        ),
+        tc(
+            "null/capability-fields",
+            &[NullCapabilities, Intrinsics, MorelloEncoding],
+            "the NULL capability: untagged, address 0, no permissions",
+            r#"
+            int main(void) {
+              void *n = NULL;
+              assert(!cheri_tag_get(n));
+              assert(cheri_address_get(n) == 0);
+              assert(cheri_perms_get(n) == 0);
+              assert(!cheri_is_sealed(n));
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "uaf/heap-read-after-free",
+            &[UseAfterFree, Allocator, StdlibFunctions],
+            "loading through a freed heap pointer is temporal UB",
+            r#"
+            int main(void) {
+              int *p = malloc(sizeof(int));
+              *p = 5;
+              free(p);
+              return *p;
+            }"#,
+            Ub(Ub::AccessDeadAllocation),
+            Exit(5),
+            &[],
+        ),
+        tc(
+            "uaf/double-free",
+            &[UseAfterFree, StdlibFunctions, Allocator],
+            "freeing twice is UB (detected by the abstract machine only)",
+            r#"
+            int main(void) {
+              int *p = malloc(4);
+              free(p);
+              free(p);
+              return 0;
+            }"#,
+            Ub(Ub::DoubleFree),
+            Ub(Ub::DoubleFree),
+            &[],
+        ),
+        tc(
+            "uaf/escaped-stack-pointer",
+            &[UseAfterFree, GlobalVsLocal],
+            "using a pointer to a dead stack frame is temporal UB",
+            r#"
+            int *gp;
+            int f(void) { int local = 9; gp = &local; return local; }
+            int main(void) {
+              f();
+              return *gp;
+            }"#,
+            Ub(Ub::AccessDeadAllocation),
+            Exit(9),
+            &[],
+        ),
+        tc(
+            "uaf/realloc-invalidates-old",
+            &[UseAfterFree, StdlibFunctions, Allocator],
+            "after realloc the old pointer's allocation is dead",
+            r#"
+            int main(void) {
+              int *p = malloc(sizeof(int));
+              *p = 1;
+              int *q = realloc(p, 64 * sizeof(int));
+              assert(q[0] == 1);
+              int r = *p;       /* old allocation is gone */
+              free(q);
+              return r;
+            }"#,
+            Ub(Ub::AccessDeadAllocation),
+            Exit(1),
+            &[],
+        ),
+        tc(
+            "uaf/hardware-gap-s311",
+            &[UseAfterFree, Provenance],
+            "§3.11: without revocation, hardware cannot catch use-after-free — only the abstract machine does",
+            r#"
+            int main(void) {
+              int *p = malloc(sizeof(int));
+              *p = 123;
+              free(p);
+              /* The capability is still tagged and in bounds: hardware has
+                 no objection, the temporal error is invisible to it. */
+              assert(cheri_tag_get(p));
+              *p = 7;
+              return 0;
+            }"#,
+            Ub(Ub::AccessDeadAllocation),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "prov/union-pun-s34",
+            &[Provenance, UIntPtrProperties, RepresentationAccess],
+            "§3.4: pointer/uintptr_t type punning through a union preserves provenance and tag",
+            r#"
+            #include <stdint.h>
+            union ptr {
+              int *ptr;
+              uintptr_t iptr;
+            };
+            int main(void) {
+              int arr[] = {42, 43};
+              union ptr x;
+              x.ptr = arr;
+              x.iptr += sizeof(int);
+              assert(*x.ptr == 43);
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "cc/capability-arguments",
+            &[CallingConvention, CapAssignment, Casts, FunctionPointers],
+            "capabilities pass through many-argument calls and mixed types unscathed",
+            r#"
+            #include <stdint.h>
+            int bump(int v) { return v + 1; }
+            long f(int a, long b, int *p, uintptr_t u, char c, int *q,
+                   short s, uintptr_t v, int (*g)(int)) {
+              return a + b + *p + (int)(u == v) + c + *q + s + g(0);
+            }
+            int main(void) {
+              int x = 10, y = 20;
+              uintptr_t u = (uintptr_t)&x;
+              long r = f(1, 2, &x, u, 3, &y, 4, u, bump);
+              return (int)r;   /* 1+2+10+1+3+20+4+1 = 42 */
+            }"#,
+            Exit(42),
+            Exit(42),
+            &[],
+        ),
+        tc(
+            "subobject/container-of-idiom",
+            &[SubobjectBounds, Casts, Offsetting],
+            "§3.8: no subobject narrowing by default, so container-of works",
+            r#"
+            struct outer { int header; int payload; };
+            int main(void) {
+              struct outer o = { 7, 42 };
+              int *p = &o.payload;
+              /* move back to the containing struct */
+              struct outer *c = (struct outer *)(p - 1);
+              assert(c->header == 7);
+              return c->payload;
+            }"#,
+            Exit(42),
+            Exit(42),
+            &[],
+        ),
+        tc(
+            "global/address-of-global-vs-local",
+            &[GlobalVsLocal, Equality, Allocator],
+            "pointers to globals and locals are distinct and live in distinct regions",
+            r#"
+            #include <stdint.h>
+            int g;
+            int main(void) {
+              int l;
+              assert(&g != &l);
+              assert(cheri_tag_get(&g) && cheri_tag_get(&l));
+              assert(cheri_base_get(&g) != cheri_base_get(&l));
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "casts/char-aliasing-read",
+            &[Casts, RepresentationAccess, Signedness],
+            "unsigned char* may inspect any object representation",
+            r#"
+            int main(void) {
+              unsigned int x = 0x01020304;
+              unsigned char *p = (unsigned char *)&x;
+              /* little-endian representation */
+              assert(p[0] == 4 && p[3] == 1);
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "morello/capability-is-128-bits",
+            &[MorelloEncoding, UIntPtrProperties, Alignment],
+            "Morello capabilities occupy 16 bytes with 16-byte alignment",
+            r#"
+            int main(void) {
+              assert(sizeof(void*) == 16);
+              assert(_Alignof(void*) == 16);
+              assert(sizeof(int*) == sizeof(void (*)(void)));
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "morello/compression-rounds-large-bounds",
+            &[MorelloEncoding, Representability, Alignment],
+            "bounds compression: large odd lengths round up, small ones stay exact",
+            r#"
+            int main(void) {
+              assert(cheri_representable_length(4095) == 4095);
+              size_t big = (1 << 22) + 1;
+              size_t r = cheri_representable_length(big);
+              assert(r > big);
+              assert(cheri_representable_length(r) == r);
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+    ]
+}

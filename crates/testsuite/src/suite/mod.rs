@@ -1,0 +1,45 @@
+//! The 94 test programs, grouped by theme.
+
+mod align_alloc;
+mod funcptr;
+mod intrinsics;
+mod misc;
+mod pointers;
+mod uintptr;
+mod unforge;
+
+use crate::{Category, Expected, TestCase};
+
+/// Shared constructor used by the submodules.
+pub(crate) fn tc(
+    id: &'static str,
+    cats: &'static [Category],
+    desc: &'static str,
+    src: &'static str,
+    expect_ref: Expected,
+    expect_hw: Expected,
+    overrides: &'static [(&'static str, Expected)],
+) -> TestCase {
+    TestCase {
+        id,
+        cats,
+        desc,
+        source: src,
+        expect_ref,
+        expect_hw,
+        overrides,
+    }
+}
+
+/// All tests, in stable order.
+pub(crate) fn all() -> Vec<TestCase> {
+    let mut v = Vec::new();
+    v.extend(align_alloc::tests());
+    v.extend(pointers::tests());
+    v.extend(uintptr::tests());
+    v.extend(intrinsics::tests());
+    v.extend(unforge::tests());
+    v.extend(funcptr::tests());
+    v.extend(misc::tests());
+    v
+}

@@ -1,0 +1,301 @@
+//! Pointer construction, arithmetic, comparison, one-past and
+//! out-of-bounds tests (Table 1 rows 3–4, 9, 20–21, 26, 28).
+
+use super::tc;
+use crate::Category::*;
+use crate::Expected::*;
+use crate::TestCase;
+use cheri_mem::Ub;
+
+pub(crate) fn tests() -> Vec<TestCase> {
+    vec![
+        tc(
+            "array/address-of-array-covers-whole",
+            &[ArrayAddresses, Intrinsics],
+            "&array and &array[0] have the same address and full bounds",
+            r#"
+            #include <stdint.h>
+            int main(void) {
+              int x[2] = {1, 2};
+              int *p = &x[0];
+              assert((uintptr_t)p == (uintptr_t)x);
+              assert(cheri_length_get(p) == sizeof(x));
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "array/element-pointer-keeps-allocation-bounds",
+            &[ArrayAddresses, SubobjectBounds],
+            "&x[1] keeps the whole array's bounds by default (§3.8, no subobject narrowing)",
+            r#"
+            int main(void) {
+              int x[4] = {1, 2, 3, 4};
+              int *p = &x[2];
+              assert(cheri_base_get(p) == cheri_address_get(&x[0]));
+              assert(cheri_length_get(p) == sizeof(x));
+              /* container-of style backwards movement is fine */
+              int *q = p - 2;
+              return *q;
+            }"#,
+            Exit(1),
+            Exit(1),
+            &[],
+        ),
+        tc(
+            "offset/index-equals-shift",
+            &[Offsetting, PtrArithImpl, Equality],
+            "&a[i] equals a + i, and the capability address moves by i*elem",
+            r#"
+            #include <stdint.h>
+            int main(void) {
+              int a[8];
+              for (int i = 0; i < 8; i++) {
+                assert(&a[i] == a + i);
+                assert(cheri_address_get(&a[i]) == cheri_address_get(a) + i * sizeof(int));
+              }
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "offset/pointer-difference",
+            &[Offsetting, PtrArithImpl],
+            "pointer subtraction yields element counts",
+            r#"
+            int main(void) {
+              long a[10];
+              long *p = &a[2];
+              long *q = &a[9];
+              assert(q - p == 7);
+              assert(p - q == -7);
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "onepast/construct-compare-but-not-access",
+            &[OnePast, OutOfBoundsAccess, Equality],
+            "one-past pointers are constructible and comparable; dereferencing is UB (§3.2)",
+            r#"
+            int main(void) {
+              int a[4] = {0,1,2,3};
+              int *end = a + 4;          /* ISO-legal construction */
+              int s = 0;
+              for (int *p = a; p != end; p++) s += *p;
+              assert(s == 6);
+              assert(cheri_tag_get(end)); /* still tagged: representable */
+              return *end;                /* UB / trap */
+            }"#,
+            Ub(Ub::CheriBoundsViolation),
+            Trap,
+            &[],
+        ),
+        tc(
+            "oob/write-one-past-s31",
+            &[OutOfBoundsAccess, OptimisationEffects],
+            "the §3.1 example: out-of-bounds write through a one-past pointer",
+            r#"
+            void f(int *p, int i) {
+              int *q = p + i;
+              *q = 42;
+            }
+            int main(void) {
+              int x=0, y=0;
+              f(&x, 1);
+              return y;
+            }"#,
+            Ub(Ub::CheriBoundsViolation),
+            Trap,
+            &[],
+        ),
+        tc(
+            "oob/read-below-object",
+            &[OutOfBoundsAccess],
+            "constructing a pointer below the object is UB in CHERI C (§3.2 option (a))",
+            r#"
+            int main(void) {
+              int a[2] = {1, 2};
+              int *p = a - 1;   /* UB already here in the semantics */
+              return *p;        /* and a bounds trap on hardware */
+            }"#,
+            Ub(Ub::OutOfBoundPtrArithmetic),
+            Trap,
+            &[],
+        ),
+        tc(
+            "oob/far-construction-s32",
+            &[OutOfBoundsAccess, OptimisationEffects],
+            "§3.2: transient far-out-of-bounds pointer; UB in the semantics, tag-clear on hardware, folded away at O3",
+            r#"
+            int main(void) {
+              int x[2];
+              int *p = &x[0];
+              int *q = p + 100001;
+              q = q - 100000;
+              *q = 1;
+            }"#,
+            Ub(Ub::OutOfBoundPtrArithmetic),
+            Trap,
+            &[
+                ("clang-morello-O3", Exit(0)),
+                ("clang-riscv-O3", Exit(0)),
+                ("gcc-morello-O3", Exit(0)),
+            ],
+        ),
+        tc(
+            "oob/array-index-beyond",
+            &[OutOfBoundsAccess],
+            "reading a[i] beyond the array bounds is caught",
+            r#"
+            int get(int *a, int i) { return a[i]; }
+            int main(void) {
+              int a[3] = {1,2,3};
+              return get(a, 5);
+            }"#,
+            Ub(Ub::OutOfBoundPtrArithmetic),
+            Trap,
+            &[],
+        ),
+        tc(
+            "rel/ordering-within-object",
+            &[RelationalOperators],
+            "relational operators order pointers within one object",
+            r#"
+            int main(void) {
+              int a[4];
+              assert(&a[0] < &a[1]);
+              assert(&a[3] > &a[1]);
+              assert(&a[2] <= &a[2]);
+              assert(&a[2] >= &a[2]);
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "rel/different-objects-is-iso-ub",
+            &[RelationalOperators, Provenance],
+            "ordering pointers to different objects is ISO UB; hardware just compares addresses",
+            r#"
+            int main(void) {
+              int x, y;
+              int r = &x < &y;
+              return 0;
+            }"#,
+            Ub(Ub::RelationalCompareDifferentProvenance),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "rel/subtraction-different-provenance",
+            &[RelationalOperators, Provenance],
+            "pointer subtraction requires common provenance (§3.11 check 2)",
+            r#"
+            int main(void) {
+              int x, y;
+              long d = &x - &y;
+              return 0;
+            }"#,
+            Ub(Ub::PtrDiffDifferentProvenance),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "eq/address-only-untagged",
+            &[Equality, Unforgeability],
+            "§3.6: == compares addresses only; a tag-cleared capability still compares equal",
+            r#"
+            int main(void) {
+              int x = 0;
+              int *p = &x;
+              int *q = cheri_tag_clear(p);
+              assert(p == q);
+              assert(!cheri_tag_get(q));
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "eq/address-only-narrowed-bounds",
+            &[Equality, Intrinsics],
+            "§3.6: == ignores bounds; cheri_is_equal_exact does not",
+            r#"
+            int main(void) {
+              char buf[16];
+              char *p = buf;
+              char *q = cheri_bounds_set(buf, 8);
+              assert(p == q);                     /* same address */
+              assert(!cheri_is_equal_exact(p, q)); /* different bounds */
+              assert(cheri_is_equal_exact(p, p));
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "eq/pointer-vs-roundtripped",
+            &[Equality, PtrIntConversion],
+            "a pointer equals itself after an (u)intptr_t round trip",
+            r#"
+            #include <stdint.h>
+            int main(void) {
+              int x;
+              int *p = &x;
+              int *q = (int*)(uintptr_t)p;
+              assert(p == q);
+              assert(cheri_is_equal_exact(p, q));
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "eq/null-comparisons",
+            &[Equality, NullCapabilities],
+            "NULL equals NULL and no live object's address",
+            r#"
+            int main(void) {
+              int x;
+              int *p = &x;
+              int *n = NULL;
+              assert(n == NULL);
+              assert(p != NULL);
+              assert(!(p == 0));
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "eq/intptr-equality-is-value-equality",
+            &[Equality, UIntPtrProperties],
+            "(u)intptr_t == compares the address value, ignoring capability metadata",
+            r#"
+            #include <stdint.h>
+            int main(void) {
+              int x;
+              intptr_t a = (intptr_t)&x;
+              intptr_t b = (intptr_t)cheri_tag_clear(&x);
+              assert(a == b);             /* same address */
+              assert(!cheri_is_equal_exact(a, b));
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+    ]
+}

@@ -1,0 +1,384 @@
+//! `(u)intptr_t`, pointer/integer conversion, `ptraddr_t` and signedness
+//! tests (Table 1 rows 13–15, 25, 27, 32).
+
+use super::tc;
+use crate::Category::*;
+use crate::Expected::*;
+use crate::TestCase;
+use cheri_mem::Ub;
+
+pub(crate) fn tests() -> Vec<TestCase> {
+    vec![
+        tc(
+            "uintptr/sizeof-is-capability-size",
+            &[UIntPtrProperties, MorelloEncoding, Alignment],
+            "(u)intptr_t is capability-sized (16 bytes on Morello), unlike ptraddr_t",
+            r#"
+            #include <stdint.h>
+            int main(void) {
+              assert(sizeof(uintptr_t) == sizeof(void*));
+              assert(sizeof(intptr_t) == sizeof(void*));
+              assert(sizeof(ptraddr_t) < sizeof(uintptr_t));
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "uintptr/roundtrip-identity",
+            &[UIntPtrProperties, PtrIntConversion],
+            "ISO guarantee: pointer → uintptr_t → pointer is the identity",
+            r#"
+            #include <stdint.h>
+            int main(void) {
+              int x = 9;
+              uintptr_t u = (uintptr_t)&x;
+              int *q = (int*)u;
+              assert(q == &x);
+              return *q;
+            }"#,
+            Exit(9),
+            Exit(9),
+            &[],
+        ),
+        tc(
+            "uintptr/roundtrip-signed-intptr",
+            &[UIntPtrProperties, PtrIntConversion, Signedness],
+            "the signed intptr_t round trip also preserves the capability",
+            r#"
+            #include <stdint.h>
+            int main(void) {
+              int x = 4;
+              intptr_t i = (intptr_t)&x;
+              int *q = (int*)i;
+              assert(cheri_tag_get(q));
+              return *q;
+            }"#,
+            Exit(4),
+            Exit(4),
+            &[],
+        ),
+        tc(
+            "uintptr/null-is-zero",
+            &[UIntPtrProperties, NullCapabilities, Equality],
+            "(uintptr_t)NULL is 0, and (void*)0 is the null capability",
+            r#"
+            #include <stdint.h>
+            int main(void) {
+              assert((uintptr_t)NULL == 0);
+              void *p = (void*)0;
+              assert(p == NULL);
+              assert(!cheri_tag_get(p));
+              assert(cheri_address_get(p) == 0);
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "uintptr/stored-in-memory-keeps-tag",
+            &[UIntPtrProperties, CapAssignment],
+            "assigning and storing (u)intptr_t values preserves the capability",
+            r#"
+            #include <stdint.h>
+            uintptr_t g;
+            int main(void) {
+              int x = 3;
+              g = (uintptr_t)&x;
+              uintptr_t l = g;
+              int *q = (int*)l;
+              return *q;
+            }"#,
+            Exit(3),
+            Exit(3),
+            &[],
+        ),
+        tc(
+            "uintptr/from-plain-integer-untagged",
+            &[UIntPtrProperties, Unforgeability],
+            "a uintptr_t created from an integer constant is NULL-derived and untagged",
+            r#"
+            #include <stdint.h>
+            int main(void) {
+              uintptr_t u = 0x1234;
+              assert(!cheri_tag_get(u));
+              assert(cheri_address_get(u) == 0x1234);
+              assert(u == 0x1234);
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "uintptr/array-shift-s37",
+            &[UIntPtrArithmetic, UIntPtrProperties],
+            "§3.7: size_t*n + intptr_t derives the result from the intptr_t operand",
+            r#"
+            #include <stdint.h>
+            int* array_shift(int *x, int n) {
+              intptr_t ip = (intptr_t)x;
+              intptr_t ip1 = sizeof(int)*n + ip;
+              int *p = (int*)ip1;
+              return p;
+            }
+            int main(void) {
+              int a[3] = {5, 6, 7};
+              assert(*array_shift(a, 2) == 7);
+              assert(cheri_tag_get(array_shift(a, 1)));
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "uintptr/transient-nonrepresentable-s33",
+            &[UIntPtrArithmetic, UIntPtrProperties, OptimisationEffects],
+            "§3.3: a transient non-representable excursion poisons the value (ghost state)",
+            r#"
+            #include <stdint.h>
+            void f(int a, int b) {
+              int x[2];
+              int *p = &x[0];
+              uintptr_t i = (uintptr_t)p;
+              uintptr_t j = i + a;
+              uintptr_t k = j - b;
+              int *q = (int*)k;
+              *q = 1;
+            }
+            int main(void) {
+              f(100001*sizeof(int), 100000*sizeof(int));
+            }"#,
+            Ub(Ub::CheriUndefinedTag),
+            Trap,
+            &[],
+        ),
+        tc(
+            "uintptr/derivation-left-biased",
+            &[UIntPtrArithmetic, UIntPtrProperties],
+            "§3.7: for two capability operands the result derives from the left one",
+            r#"
+            #include <stdint.h>
+            int main(void) {
+              int x=0, y=0;
+              intptr_t a = (intptr_t)&x;
+              intptr_t b = (intptr_t)&y;
+              intptr_t c0 = a + b;
+              /* derived from a: untagged (far out of a's bounds) but its
+                 base is a's base, not b's */
+              assert(cheri_base_get(c0) == cheri_base_get(a)
+                     || !cheri_tag_get(c0));
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "uintptr/converted-operand-loses-derivation",
+            &[UIntPtrArithmetic, UIntPtrProperties, Casts],
+            "§3.7/§4.4: the operand converted from a non-capability type never supplies the capability",
+            r#"
+            #include <stdint.h>
+            int main(void) {
+              int a[2] = {8, 9};
+              uintptr_t u = (uintptr_t)a;
+              /* int + uintptr: left is converted, so derive from the right */
+              uintptr_t v = (int)sizeof(int) + u;
+              int *p = (int*)v;
+              assert(cheri_tag_get(p));
+              return *p;
+            }"#,
+            Exit(9),
+            Exit(9),
+            &[],
+        ),
+        tc(
+            "uintptr/bitwise-align-down",
+            &[UIntPtrBitwise, UIntPtrArithmetic, UIntPtrProperties],
+            "masking low bits for alignment keeps the capability usable",
+            r#"
+            #include <stdint.h>
+            int main(void) {
+              long a[4];
+              uintptr_t u = (uintptr_t)&a[1];
+              u &= ~(uintptr_t)(sizeof(long) - 1); /* already aligned: no-op */
+              long *p = (long*)u;
+              assert(p == &a[1]);
+              assert(cheri_tag_get(p));
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "uintptr/bitwise-tag-bits-roundtrip",
+            &[UIntPtrBitwise, UIntPtrProperties],
+            "stuffing metadata in low pointer bits and clearing it again (tagged-pointer idiom)",
+            r#"
+            #include <stdint.h>
+            int main(void) {
+              long x = 77;
+              uintptr_t u = (uintptr_t)&x;
+              u |= 1;            /* set a low tag bit (stays in bounds) */
+              assert(u & 1);
+              u &= ~(uintptr_t)1;
+              long *p = (long*)u;
+              assert(cheri_tag_get(p));
+              return (int)*p;
+            }"#,
+            Exit(77),
+            Exit(77),
+            &[],
+        ),
+        tc(
+            "uintptr/bitwise-mask-int-appendix-a",
+            &[UIntPtrBitwise, Representability, UIntPtrProperties],
+            "Appendix A: cap & INT_MAX moves the address far below the bounds on most layouts",
+            r#"
+            #include <stdint.h>
+            int main(void) {
+              int x[2] = {42, 43};
+              intptr_t ip = (intptr_t)&x;
+              intptr_t ip3 = ip & INT_MAX;
+              int *q = (int*)ip3;
+              *q = 1;  /* ghost-unspecified / tag-cleared on clang layouts */
+              return 0;
+            }"#,
+            Ub(Ub::CheriUndefinedTag),
+            Trap,
+            // GCC's bare-metal allocator keeps the stack below 2^31, so the
+            // mask is the identity and the program simply works (Appendix A,
+            // gcc-morello rows).
+            &[("gcc-morello", Exit(0))],
+        ),
+        tc(
+            "ptrint/cast-to-long-loses-capability",
+            &[PtrIntConversion, Unforgeability],
+            "casting to a plain integer keeps only the address; rebuilding gives an untagged pointer",
+            r#"
+            #include <stdint.h>
+            int main(void) {
+              int x = 5;
+              long n = (long)(uintptr_t)&x;    /* value only */
+              int *p = (int*)(uintptr_t)n;     /* NULL-derived */
+              assert(p == &x);                 /* address matches */
+              assert(!cheri_tag_get(p));
+              return *p;                        /* cannot be used */
+            }"#,
+            Ub(Ub::CheriInvalidCap),
+            Trap,
+            &[],
+        ),
+        tc(
+            "ptrint/ptraddr-basics",
+            &[PtrAddr, PtrIntConversion, Signedness],
+            "ptraddr_t holds the address as a plain integer (§3.10)",
+            r#"
+            #include <stdint.h>
+            int main(void) {
+              int x;
+              ptraddr_t a = (ptraddr_t)(uintptr_t)&x;
+              assert(a == cheri_address_get(&x));
+              assert(sizeof(ptraddr_t) == 8);
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "ptrint/ptraddr-hash-index",
+            &[PtrAddr, UIntPtrArithmetic],
+            "the hash-table-index idiom should use ptraddr_t (§3.3 option 2 discussion)",
+            r#"
+            #include <stdint.h>
+            int main(void) {
+              int x;
+              ptraddr_t a = (ptraddr_t)(uintptr_t)&x;
+              unsigned long idx = (a >> 4) % 128;
+              assert(idx < 128);
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "ptrint/truncating-casts",
+            &[PtrIntConversion, Signedness],
+            "casting a pointer to narrower integers truncates the address",
+            r#"
+            #include <stdint.h>
+            int main(void) {
+              int x;
+              uintptr_t u = (uintptr_t)&x;
+              unsigned char lo = (unsigned char)u;
+              unsigned short lo16 = (unsigned short)u;
+              assert(lo == (u & 0xFF));
+              assert(lo16 == (u & 0xFFFF));
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+        tc(
+            "ptrint/expose-then-recover-provenance",
+            &[PtrIntConversion, Provenance],
+            "PNVI-ae: casting to an integer exposes; casting back recovers provenance but not the tag",
+            r#"
+            #include <stdint.h>
+            int main(void) {
+              int x = 1;
+              unsigned long n = (unsigned long)(uintptr_t)&x; /* exposes */
+              int *p = (int*)(uintptr_t)n;
+              /* abstract machine: provenance recovered, but the capability
+                 is NULL-derived — the CHERI check fires first */
+              return *p;
+            }"#,
+            Ub(Ub::CheriInvalidCap),
+            Trap,
+            &[],
+        ),
+        tc(
+            "ptrint/int-to-pointer-no-expose-empty-provenance",
+            &[PtrIntConversion, Provenance],
+            "an address guessed without any exposed allocation has empty provenance",
+            r#"
+            #include <stdint.h>
+            int main(void) {
+              int x = 1;
+              /* no cast of &x to integer happens: x is never exposed */
+              uintptr_t guess = 0x12340;
+              int *p = (int*)guess;
+              return *p;
+            }"#,
+            Ub(Ub::CheriInvalidCap),
+            Trap,
+            &[],
+        ),
+        tc(
+            "sign/uintptr-wraps-intptr-may-go-negative",
+            &[Signedness, UIntPtrArithmetic],
+            "uintptr_t arithmetic wraps; the same bits reinterpreted as intptr_t are negative",
+            r#"
+            #include <stdint.h>
+            int main(void) {
+              uintptr_t z = 0;
+              uintptr_t m = z - 1;           /* wraps to 2^64-1 */
+              intptr_t s = (intptr_t)m;
+              assert(m > 0);
+              assert(s == -1);
+              return 0;
+            }"#,
+            Exit(0),
+            Exit(0),
+            &[],
+        ),
+    ]
+}

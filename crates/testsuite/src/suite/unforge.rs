@@ -1,0 +1,169 @@
+//! Unforgeability, representation access and optimisation-effect tests
+//! (Table 1 rows 17, 22, 30).
+
+use super::tc;
+use crate::Category::*;
+use crate::Expected::*;
+use crate::TestCase;
+use cheri_mem::Ub;
+
+pub(crate) fn tests() -> Vec<TestCase> {
+    vec![
+        tc(
+            "repr/identity-byte-write-s35",
+            &[RepresentationAccess, Unforgeability, OptimisationEffects],
+            "§3.5: a byte write to a stored capability poisons it — unless the optimiser removes the identity write",
+            r#"
+            int main(void) {
+              int x = 0;
+              int *px = &x;
+              unsigned char *p = (unsigned char *)&px;
+              p[0] = p[0];
+              *px = 1;
+              return x;
+            }"#,
+            Ub(Ub::CheriUndefinedTag),
+            Trap,
+            &[
+                ("clang-morello-O3", Exit(1)),
+                ("clang-riscv-O3", Exit(1)),
+                ("gcc-morello-O3", Exit(1)),
+            ],
+        ),
+        tc(
+            "repr/byte-copy-loop-s35",
+            &[RepresentationAccess, Unforgeability, OptimisationEffects],
+            "§3.5: a manual byte-copy loop loses the tag; converted to memcpy at O3 it preserves it",
+            r#"
+            int main(void) {
+              int x = 0;
+              int *px0 = &x;
+              int *px1;
+              unsigned char *p0 = (unsigned char *)&px0;
+              unsigned char *p1 = (unsigned char *)&px1;
+              for (int i = 0; i < sizeof(int*); i++)
+                p1[i] = p0[i];
+              *px1 = 1;
+              return x;
+            }"#,
+            AnyUb,
+            Trap,
+            &[
+                ("clang-morello-O3", Exit(1)),
+                ("clang-riscv-O3", Exit(1)),
+                ("gcc-morello-O3", Exit(1)),
+            ],
+        ),
+        tc(
+            "repr/memcpy-preserves-capability",
+            &[RepresentationAccess, StdlibFunctions, Alignment, OptimisationEffects],
+            "§3.5: memcpy uses capability-sized accesses and preserves tags",
+            r#"
+            int main(void) {
+              int x = 0;
+              int *px0 = &x;
+              int *px1;
+              memcpy(&px1, &px0, sizeof(int*));
+              *px1 = 1;
+              return x;
+            }"#,
+            Exit(1),
+            Exit(1),
+            &[],
+        ),
+        tc(
+            "repr/partial-memcpy-poisons",
+            &[RepresentationAccess, StdlibFunctions, Unforgeability, OptimisationEffects],
+            "§3.5: copying part of a capability is a representation access; the result is unusable (at every optimisation level)",
+            r#"
+            int main(void) {
+              int x = 0;
+              int *px0 = &x;
+              int *px1 = &x;
+              /* overwrite half of px1's representation from px0's */
+              memcpy(&px1, &px0, sizeof(int*) / 2);
+              *px1 = 1;
+              return x;
+            }"#,
+            AnyUb,
+            Trap,
+            &[],
+        ),
+        tc(
+            "repr/reading-bytes-is-allowed",
+            &[RepresentationAccess, Provenance],
+            "reading a capability's representation bytes is defined (and exposes, PNVI-ae)",
+            r#"
+            int main(void) {
+              int x = 0;
+              int *px = &x;
+              unsigned char *p = (unsigned char *)&px;
+              int sum = 0;
+              for (int i = 0; i < sizeof(int*); i++) sum += p[i];
+              assert(sum != 0);   /* the address bytes are not all zero */
+              *px = 7;            /* px itself is untouched and usable */
+              return x;
+            }"#,
+            Exit(7),
+            Exit(7),
+            &[],
+        ),
+        tc(
+            "repr/no-tag-resurrection",
+            &[RepresentationAccess, Unforgeability, OptimisationEffects],
+            "restoring the original bytes after a representation write does not restore the tag",
+            r#"
+            int main(void) {
+              int x = 0;
+              int *px = &x;
+              unsigned char *p = (unsigned char *)&px;
+              unsigned char saved = p[0];
+              p[0] = saved ^ 0xFF;
+              p[0] = saved;       /* bytes identical to the original now */
+              *px = 1;            /* ...but the capability stays poisoned */
+              return x;
+            }"#,
+            Ub(Ub::CheriUndefinedTag),
+            Trap,
+            &[],
+        ),
+        tc(
+            "opt/constant-folding-is-semantics-preserving",
+            &[OptimisationEffects, UIntPtrArithmetic],
+            "folding (u)intptr_t constant chains never changes defined results",
+            r#"
+            #include <stdint.h>
+            int main(void) {
+              int a[4] = {1,2,3,4};
+              uintptr_t u = (uintptr_t)a;
+              uintptr_t v = (u + 2*sizeof(int)) - sizeof(int);
+              int *p = (int*)v;
+              return *p;
+            }"#,
+            Exit(2),
+            Exit(2),
+            &[],
+        ),
+        tc(
+            "opt/uintptr-excursion-visible-at-o0-only",
+            &[OptimisationEffects, UIntPtrArithmetic],
+            "a constant transient excursion traps at O0 and is folded away at O3",
+            r#"
+            #include <stdint.h>
+            int main(void) {
+              int a[2] = {31, 32};
+              int *p = a;
+              int *q = p + 1000000;
+              q = q - 1000000;
+              return *q;
+            }"#,
+            Ub(Ub::OutOfBoundPtrArithmetic),
+            Trap,
+            &[
+                ("clang-morello-O3", Exit(31)),
+                ("clang-riscv-O3", Exit(31)),
+                ("gcc-morello-O3", Exit(31)),
+            ],
+        ),
+    ]
+}

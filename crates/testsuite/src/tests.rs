@@ -1,0 +1,89 @@
+//! Suite self-checks: Table 1 counts, uniqueness, and behavioural
+//! verification of every test under every profile.
+
+use std::collections::BTreeMap;
+
+use cheri_core::Profile;
+
+use crate::harness::{divergences, run_suite};
+use crate::{all_tests, Category};
+
+
+#[test]
+fn table1_counts_match_the_paper() {
+    let tests = all_tests();
+    let mut mismatch = String::new();
+    let mut total_tags = 0;
+    for (cat, desc, expected) in Category::TABLE1 {
+        let n = tests.iter().filter(|t| t.cats.contains(cat)).count();
+        total_tags += n;
+        if n != *expected {
+            mismatch.push_str(&format!("  {cat:?}: have {n}, paper says {expected} ({desc})\n"));
+        }
+    }
+    assert!(
+        mismatch.is_empty(),
+        "category coverage differs from Table 1 (total tags {total_tags}):\n{mismatch}"
+    );
+    assert_eq!(tests.len(), 94, "the paper's suite has 94 tests");
+}
+
+#[test]
+fn test_ids_unique_and_tagged() {
+    let tests = all_tests();
+    let mut seen = BTreeMap::new();
+    for t in &tests {
+        assert!(!t.cats.is_empty(), "{} has no categories", t.id);
+        assert!(
+            seen.insert(t.id, ()).is_none(),
+            "duplicate test id {}",
+            t.id
+        );
+        assert!(!t.desc.is_empty());
+    }
+}
+
+#[test]
+fn reference_semantics_behaves_as_expected() {
+    let report = run_suite(&[Profile::cerberus()]);
+    let bad = divergences(&report, "cerberus");
+    assert!(
+        bad.is_empty(),
+        "tests diverging under the reference semantics: {bad:#?}"
+    );
+}
+
+#[test]
+fn clang_morello_o0_behaves_as_expected() {
+    let report = run_suite(&[Profile::clang_morello(false)]);
+    let bad = divergences(&report, "clang-morello-O0");
+    assert!(bad.is_empty(), "diverging: {bad:#?}");
+}
+
+#[test]
+fn clang_riscv_o0_behaves_as_expected() {
+    let report = run_suite(&[Profile::clang_riscv(false)]);
+    let bad = divergences(&report, "clang-riscv-O0");
+    assert!(bad.is_empty(), "diverging: {bad:#?}");
+}
+
+#[test]
+fn gcc_morello_o0_behaves_as_expected() {
+    let report = run_suite(&[Profile::gcc_morello(false)]);
+    let bad = divergences(&report, "gcc-morello-O0");
+    assert!(bad.is_empty(), "diverging: {bad:#?}");
+}
+
+#[test]
+fn o3_profiles_behave_as_expected() {
+    for p in [
+        Profile::clang_morello(true),
+        Profile::clang_riscv(true),
+        Profile::gcc_morello(true),
+    ] {
+        let name = p.name.clone();
+        let report = run_suite(&[p]);
+        let bad = divergences(&report, &name);
+        assert!(bad.is_empty(), "{name} diverging: {bad:#?}");
+    }
+}

@@ -1,0 +1,61 @@
+//! Capability model explorer: bounds compression, representability and
+//! sealing on the Morello-style and CHERIoT-style formats, using the
+//! `cheri-cap` crate directly (no C involved).
+//!
+//! ```sh
+//! cargo run --example capability_explorer
+//! ```
+
+use cheri_c::cap::{CapDisplay, Capability, CheriotCap, MorelloCap, Perms};
+
+fn main() {
+    // Derive a data capability the way a CHERI allocator would (§3.2).
+    let root = MorelloCap::root();
+    let obj = root
+        .with_bounds(0x4000_1000, 256)
+        .with_perms_and(Perms::data())
+        .with_address(0x4000_1000);
+    println!("fresh allocation: {}", CapDisplay(&obj));
+
+    // In-bounds movement keeps the tag; §3.2's representable slack allows
+    // some out-of-bounds addresses too.
+    println!("\naddress movement vs representability:");
+    for delta in [0i64, 255, 256, 1024, 4096, 1 << 20] {
+        let addr = 0x4000_1000u64.wrapping_add(delta as u64);
+        let moved = obj.with_address(addr);
+        println!(
+            "  base+{delta:<8} tag={} representable={}",
+            u8::from(moved.tag()),
+            u8::from(obj.is_representable(addr)),
+        );
+    }
+
+    // Compression precision: small = byte-granular, large = rounded.
+    println!("\nbounds compression (Morello vs CHERIoT):");
+    for len in [100u64, 4095, 1 << 16, (1 << 20) + 3] {
+        let m = MorelloCap::root().with_bounds(0x10000, len);
+        let c = CheriotCap::root().with_bounds(0x10000, len & 0xF_FFFF);
+        println!(
+            "  requested {len:>8}: morello {}  cheriot {}",
+            m.bounds().length(),
+            c.bounds().length(),
+        );
+    }
+
+    // Monotonicity: narrowing is allowed, widening clears the tag.
+    let narrow = obj.with_bounds(0x4000_1010, 16);
+    let widened = narrow.with_bounds(0x4000_1000, 4096);
+    println!("\nnarrowed: {}", CapDisplay(&narrow));
+    println!("widened (forgery attempt): {}", CapDisplay(&widened));
+    assert!(!widened.tag());
+
+    // Sealing for secure encapsulation (§2.1).
+    let sealer = MorelloCap::root().with_address(42);
+    let sealed = obj.seal(&sealer).expect("root can seal");
+    println!("\nsealed with otype 42: sealed={}", sealed.is_sealed());
+    let resealed = sealed.with_address(0x4000_1004);
+    println!("mutating a sealed capability clears the tag: tag={}", resealed.tag());
+    let unsealed = sealed.unseal(&sealer).expect("matching otype");
+    assert_eq!(unsealed.bounds(), obj.bounds());
+    println!("unsealed again: {}", CapDisplay(&unsealed));
+}

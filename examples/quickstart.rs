@@ -1,0 +1,45 @@
+//! Quickstart: run a CHERI C program under the reference semantics and
+//! inspect the outcome.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use cheri_c::core::{run, Profile};
+
+fn main() {
+    let source = r#"
+        #include <stdint.h>
+        int main(void) {
+          int a[4] = {1, 2, 3, 4};
+          int s = 0;
+          for (int i = 0; i < 4; i++) s += a[i];
+          printf("sum = %d\n", s);
+
+          /* Every pointer is a capability: inspect it. */
+          int *p = &a[1];
+          printf("a[1] is at %p, bounds length %d, tagged: %d\n",
+                 p, (int)cheri_length_get(p), (int)cheri_tag_get(p));
+          return 0;
+        }
+    "#;
+
+    let result = run(source, &Profile::cerberus());
+    print!("{}", result.stdout);
+    println!("→ {}", result.outcome);
+    assert!(result.outcome.is_success());
+
+    // The same program, one byte out of bounds, fail-stops instead of
+    // corrupting memory:
+    let buggy = r#"
+        int main(void) {
+          int a[4] = {1, 2, 3, 4};
+          int s = 0;
+          for (int i = 0; i <= 4; i++) s += a[i];   /* off-by-one */
+          return s;
+        }
+    "#;
+    let result = run(buggy, &Profile::cerberus());
+    println!("off-by-one loop → {}", result.outcome);
+    assert!(result.outcome.is_safety_stop());
+}

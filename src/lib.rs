@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the CHERI C executable semantics workspace.
+//!
+//! See [`cheri_core`] for the interpreter entry points, [`cheri_cap`] for the
+//! capability models and [`cheri_mem`] for the memory object model.
+pub use cheri_cap as cap;
+pub use cheri_core as core;
+pub use cheri_mem as mem;
+pub use cheri_testsuite as testsuite;

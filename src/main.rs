@@ -1,0 +1,182 @@
+//! `cheri-c` — command-line interface to the executable CHERI C semantics.
+//!
+//! ```text
+//! cheri-c prog.c                        run under the reference semantics
+//! cheri-c prog.c --profile gcc-morello-O3
+//! cheri-c prog.c --arch cheriot         run against the 64-bit CHERIoT format
+//! cheri-c prog.c --all                  compare all implementation profiles
+//! cheri-c prog.c --trace                print the memory-event trace
+//! cheri-c prog.c --stats                print memory-model statistics
+//! cheri-c --list-profiles
+//! ```
+
+use std::process::ExitCode;
+
+use cheri_c::core::{compile_for, run_with, Interp, Outcome, Profile};
+use cheri_cap::{Capability, CheriotCap, MorelloCap};
+
+struct Options {
+    file: Option<String>,
+    profile: String,
+    arch: String,
+    all: bool,
+    trace: bool,
+    stats: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut o = Options {
+        file: None,
+        profile: "cerberus".into(),
+        arch: "morello".into(),
+        all: false,
+        trace: false,
+        stats: false,
+        list: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--profile" | "-p" => {
+                o.profile = args.next().ok_or("--profile needs a value")?;
+            }
+            "--arch" => o.arch = args.next().ok_or("--arch needs a value")?,
+            "--all" => o.all = true,
+            "--trace" => o.trace = true,
+            "--stats" => o.stats = true,
+            "--list-profiles" => o.list = true,
+            "--help" | "-h" => {
+                println!("usage: cheri-c <file.c> [--profile NAME] [--arch morello|cheriot] [--all] [--trace] [--stats]");
+                std::process::exit(0);
+            }
+            f if !f.starts_with('-') => o.file = Some(f.to_string()),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(o)
+}
+
+fn profile_by_name(name: &str) -> Option<Profile> {
+    Some(match name {
+        "cerberus" => Profile::cerberus(),
+        "iso-baseline" => Profile::iso_baseline(),
+        "cheriot" => Profile::cheriot(),
+        "clang-morello-O0" => Profile::clang_morello(false),
+        "clang-morello-O3" => Profile::clang_morello(true),
+        "clang-riscv-O0" => Profile::clang_riscv(false),
+        "clang-riscv-O3" => Profile::clang_riscv(true),
+        "gcc-morello-O0" => Profile::gcc_morello(false),
+        "gcc-morello-O3" => Profile::gcc_morello(true),
+        "clang-morello-O0-subobject-safe" => Profile::clang_morello_subobject_safe(),
+        _ => return None,
+    })
+}
+
+const PROFILES: &[&str] = &[
+    "cerberus",
+    "iso-baseline",
+    "cheriot",
+    "clang-morello-O0",
+    "clang-morello-O3",
+    "clang-riscv-O0",
+    "clang-riscv-O3",
+    "gcc-morello-O0",
+    "gcc-morello-O3",
+    "clang-morello-O0-subobject-safe",
+];
+
+fn exec<C: Capability>(src: &str, profile: &Profile, opts: &Options) -> Outcome {
+    if opts.trace || opts.stats {
+        let prog = match compile_for::<C>(src, profile) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return Outcome::Error(e);
+            }
+        };
+        let mut it = Interp::<C>::new(&prog, profile);
+        if opts.trace {
+            it.mem.enable_trace();
+        }
+        let stats_wanted = opts.stats;
+        let (r, trace) = it.run_with_trace();
+        print!("{}", r.stdout);
+        eprint!("{}", r.stderr);
+        if opts.trace {
+            eprintln!("── memory trace ({} events) ──", trace.len());
+            for line in &trace {
+                eprintln!("  {line}");
+            }
+        }
+        if stats_wanted {
+            eprintln!("(run under {}; unspecified reads: {})", profile.name, r.unspecified_reads);
+        }
+        r.outcome
+    } else {
+        let r = run_with::<C>(src, profile);
+        print!("{}", r.stdout);
+        eprint!("{}", r.stderr);
+        r.outcome
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.list {
+        for p in PROFILES {
+            println!("{p}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let Some(file) = &opts.file else {
+        eprintln!("error: no input file (try --help)");
+        return ExitCode::from(2);
+    };
+    let src = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let profiles: Vec<Profile> = if opts.all {
+        let mut v = Profile::all_compared();
+        v.push(Profile::iso_baseline());
+        v
+    } else {
+        match profile_by_name(&opts.profile) {
+            Some(p) => vec![p],
+            None => {
+                eprintln!("error: unknown profile {} (see --list-profiles)", opts.profile);
+                return ExitCode::from(2);
+            }
+        }
+    };
+    let mut last = Outcome::Exit(0);
+    for p in &profiles {
+        if profiles.len() > 1 {
+            println!("── {} ──", p.name);
+        }
+        last = match opts.arch.as_str() {
+            "cheriot" => exec::<CheriotCap>(&src, p, &opts),
+            _ => exec::<MorelloCap>(&src, p, &opts),
+        };
+        if profiles.len() > 1 {
+            println!("→ {last}");
+        }
+    }
+    match last {
+        Outcome::Exit(c) => ExitCode::from((c & 0xFF) as u8),
+        other => {
+            eprintln!("{other}");
+            ExitCode::from(if matches!(other, Outcome::Trap { .. }) { 139 } else { 1 })
+        }
+    }
+}

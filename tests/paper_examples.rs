@@ -1,0 +1,256 @@
+//! Integration tests: every numbered example of the paper's §3, run
+//! end-to-end through the umbrella crate, checking the outcome each
+//! sub-section prescribes.
+
+use cheri_c::core::{run, Outcome, Profile};
+use cheri_c::mem::{TrapKind, Ub};
+
+fn outcome(src: &str, p: &Profile) -> Outcome {
+    run(src, p).outcome
+}
+
+#[test]
+fn section_3_1_oob_access() {
+    let src = r#"
+        void f(int *p, int i) { int *q = p + i; *q = 42; }
+        int main(void) { int x=0, y=0; f(&x, 1); return y; }
+    "#;
+    assert!(matches!(
+        outcome(src, &Profile::cerberus()),
+        Outcome::Ub { ub: Ub::CheriBoundsViolation, .. }
+    ));
+    assert!(matches!(
+        outcome(src, &Profile::clang_morello(false)),
+        Outcome::Trap { kind: TrapKind::BoundsViolation, .. }
+    ));
+}
+
+#[test]
+fn section_3_2_oob_construction() {
+    let src = r#"
+        int main(void) {
+          int x[2];
+          int *p = &x[0];
+          int *q = p + 100001;
+          q = q - 100000;
+          *q = 1;
+        }
+    "#;
+    assert!(matches!(
+        outcome(src, &Profile::cerberus()),
+        Outcome::Ub { ub: Ub::OutOfBoundPtrArithmetic, .. }
+    ));
+    assert!(matches!(
+        outcome(src, &Profile::clang_riscv(false)),
+        Outcome::Trap { kind: TrapKind::TagViolation, .. }
+    ));
+    assert_eq!(outcome(src, &Profile::clang_riscv(true)), Outcome::Exit(0));
+}
+
+#[test]
+fn section_3_3_uintptr_excursion() {
+    let src = r#"
+        #include <stdint.h>
+        void f(int a, int b) {
+          int x[2];
+          int *p = &x[0];
+          uintptr_t i = (uintptr_t)p;
+          uintptr_t j = i + a;
+          uintptr_t k = j - b;
+          int *q = (int*)k;
+          *q = 1;
+        }
+        int main(void) { f(100001*sizeof(int), 100000*sizeof(int)); }
+    "#;
+    assert!(matches!(
+        outcome(src, &Profile::cerberus()),
+        Outcome::Ub { ub: Ub::CheriUndefinedTag, .. }
+    ));
+}
+
+#[test]
+fn section_3_4_union_punning() {
+    let src = r#"
+        #include <stdint.h>
+        union ptr { int *ptr; uintptr_t iptr; };
+        int main(void) {
+          int arr[] = {42,43};
+          union ptr x;
+          x.ptr = arr;
+          x.iptr += sizeof(int);
+          assert(*x.ptr == 43);
+          return 0;
+        }
+    "#;
+    for p in Profile::all_compared() {
+        assert_eq!(outcome(src, &p), Outcome::Exit(0), "profile {}", p.name);
+    }
+}
+
+#[test]
+fn section_3_5_identity_write() {
+    let src = r#"
+        int main(void) {
+          int x = 0;
+          int *px = &x;
+          unsigned char *p = (unsigned char *)&px;
+          p[0] = p[0];
+          *px = 1;
+          return x;
+        }
+    "#;
+    assert!(matches!(
+        outcome(src, &Profile::cerberus()),
+        Outcome::Ub { ub: Ub::CheriUndefinedTag, .. }
+    ));
+    assert_eq!(outcome(src, &Profile::gcc_morello(true)), Outcome::Exit(1));
+}
+
+#[test]
+fn section_3_5_loop_to_memcpy() {
+    let src = r#"
+        int main(void) {
+          int x = 0;
+          int *px0 = &x;
+          int *px1;
+          unsigned char *p0 = (unsigned char *)&px0;
+          unsigned char *p1 = (unsigned char *)&px1;
+          for (int i=0; i<sizeof(int*); i++)
+            p1[i] = p0[i];
+          *px1 = 1;
+          return x;
+        }
+    "#;
+    assert!(outcome(src, &Profile::gcc_morello(false)).is_safety_stop());
+    assert_eq!(outcome(src, &Profile::gcc_morello(true)), Outcome::Exit(1));
+}
+
+#[test]
+fn section_3_5_ghost_state_scenarios() {
+    // The third §3.5 example: what can still be examined after a
+    // representation write. Tag reads are unspecified (not UB), permission
+    // reads are implementation-defined, the access itself is UB.
+    let src = r#"
+        #include <stdint.h>
+        int main(void) {
+          int x = 0;
+          int *px = &x;
+          size_t perms0 = cheri_perms_get(px);
+          unsigned char *p = (unsigned char *)&px;
+          p[0] = p[0];
+          int addr = (int)(uintptr_t)px;
+          _Bool tag = cheri_tag_get(px);       /* unspecified, not UB */
+          size_t perms = cheri_perms_get(px);  /* implementation-defined */
+          return (*px);                         /* UB */
+        }
+    "#;
+    let r = run(src, &Profile::cerberus());
+    assert!(matches!(
+        r.outcome,
+        Outcome::Ub { ub: Ub::CheriUndefinedTag, .. }
+    ));
+    assert!(
+        r.unspecified_reads >= 1,
+        "the tag read should have been recorded as unspecified"
+    );
+}
+
+#[test]
+fn section_3_6_pointer_equality() {
+    let src = r#"
+        int main(void) {
+          int a[2] = {0, 0};
+          int *p = &a[0];
+          int *q = cheri_tag_clear(p);
+          assert(p == q);
+          assert(!cheri_is_equal_exact(p, q));
+          return 0;
+        }
+    "#;
+    for p in Profile::all_compared() {
+        assert_eq!(outcome(src, &p), Outcome::Exit(0), "profile {}", p.name);
+    }
+}
+
+#[test]
+fn section_3_7_derivation() {
+    let src = r#"
+        #include <stdint.h>
+        int main(void) {
+          int x=0, y=0;
+          intptr_t a=(intptr_t)&x;
+          intptr_t b=(intptr_t)&y;
+          intptr_t c0 = a + b;
+          intptr_t c1 = b + a;
+          assert(c0 == c1);
+          return 0;
+        }
+    "#;
+    assert_eq!(outcome(src, &Profile::cerberus()), Outcome::Exit(0));
+}
+
+#[test]
+fn section_3_7_array_shift() {
+    let src = r#"
+        #include <stdint.h>
+        int* array_shift(int *x, int n) {
+          intptr_t ip = (intptr_t)x;
+          intptr_t ip1 = sizeof(int)*n + ip;
+          int *p = (int*)ip1;
+          return p;
+        }
+        int main(void) {
+          int a[2] = {1, 2};
+          return *array_shift(a, 1);
+        }
+    "#;
+    for p in Profile::all_compared() {
+        assert_eq!(outcome(src, &p), Outcome::Exit(2), "profile {}", p.name);
+    }
+}
+
+#[test]
+fn section_3_8_subobject_bounds_not_enforced() {
+    let src = r#"
+        struct s { int a[2]; int b; };
+        int main(void) {
+          struct s v;
+          v.b = 7;
+          int *p = &v.a[0];
+          /* conservative mode: p may roam the whole struct */
+          return *(p + 2);
+        }
+    "#;
+    assert_eq!(outcome(src, &Profile::cerberus()), Outcome::Exit(7));
+}
+
+#[test]
+fn section_3_9_const() {
+    let write_const = r#"
+        int main(void) { const int c = 1; int *p = (int*)&c; *p = 2; return 0; }
+    "#;
+    assert!(outcome(write_const, &Profile::cerberus()).is_safety_stop());
+    let legal_roundtrip = r#"
+        int main(void) { int x = 1; const int *c = &x; int *p = (int*)c; *p = 5; return x; }
+    "#;
+    assert_eq!(outcome(legal_roundtrip, &Profile::cerberus()), Outcome::Exit(5));
+}
+
+#[test]
+fn section_3_11_complementary_checks() {
+    // Hardware cannot see temporal violations; the abstract machine can.
+    let src = r#"
+        int main(void) {
+          int *p = malloc(4);
+          *p = 1;
+          free(p);
+          *p = 2;
+          return 0;
+        }
+    "#;
+    assert!(matches!(
+        outcome(src, &Profile::cerberus()),
+        Outcome::Ub { ub: Ub::AccessDeadAllocation, .. }
+    ));
+    assert_eq!(outcome(src, &Profile::clang_morello(false)), Outcome::Exit(0));
+}

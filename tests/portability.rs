@@ -1,0 +1,72 @@
+//! Portability integration tests (§3.10): the same CHERI C programs run
+//! against the CHERIoT-style 64-bit capability model, where pointers are 8
+//! bytes and the address space is 32-bit. Portable programs behave
+//! identically; layout-dependent facts (sizeof) change as expected.
+
+use cheri_c::core::{run_with, CheriotCap, MorelloCap, Outcome, Profile};
+
+fn embedded_profile() -> Profile {
+    let mut p = Profile::cerberus();
+    p.mem.layout = cheri_c::mem::AddressLayout::embedded32();
+    p.name = "cerberus-cheriot".into();
+    p
+}
+
+#[test]
+fn portable_programs_agree_across_architectures() {
+    let programs = [
+        "int main(void) { int a[4] = {1,2,3,4}; int s = 0; for (int i=0;i<4;i++) s += a[i]; return s; }",
+        r#"#include <stdint.h>
+           int main(void) { int x = 7; uintptr_t u = (uintptr_t)&x; int *q = (int*)u; return *q; }"#,
+        r#"int f(int n) { return n <= 1 ? 1 : n * f(n - 1); }
+           int main(void) { return f(5); }"#,
+        r#"int main(void) { char *p = malloc(16); p[15] = 3; int r = p[15]; free(p); return r; }"#,
+    ];
+    for src in programs {
+        let morello = run_with::<MorelloCap>(src, &Profile::cerberus());
+        let cheriot = run_with::<CheriotCap>(src, &embedded_profile());
+        assert_eq!(morello.outcome, cheriot.outcome, "program: {src}");
+    }
+}
+
+#[test]
+fn safety_stops_are_portable() {
+    let buggy = [
+        "void f(int *p) { p[1] = 1; } int main(void) { int x = 0; f(&x); return x; }",
+        "int main(void) { int *p = malloc(4); free(p); return *p; }",
+        "int main(void) { int *p = 0; return *p; }",
+    ];
+    for src in buggy {
+        let morello = run_with::<MorelloCap>(src, &Profile::cerberus());
+        let cheriot = run_with::<CheriotCap>(src, &embedded_profile());
+        assert!(morello.outcome.is_safety_stop(), "{src}: {}", morello.outcome);
+        assert!(cheriot.outcome.is_safety_stop(), "{src}: {}", cheriot.outcome);
+    }
+}
+
+#[test]
+fn pointer_sizes_differ_as_documented() {
+    let src = "int main(void) { return (int)sizeof(void*); }";
+    let morello = run_with::<MorelloCap>(src, &Profile::cerberus());
+    let cheriot = run_with::<CheriotCap>(src, &embedded_profile());
+    assert_eq!(morello.outcome, Outcome::Exit(16));
+    assert_eq!(cheriot.outcome, Outcome::Exit(8));
+    // ... and in the non-capability baseline, pointers are machine words.
+    let baseline = run_with::<MorelloCap>(src, &Profile::iso_baseline());
+    assert_eq!(baseline.outcome, Outcome::Exit(8));
+}
+
+#[test]
+fn cheriot_byte_granular_small_bounds() {
+    // §3.3(i): CHERIoT provides byte-granularity bounds for small objects,
+    // so a 100-byte allocation is exactly covered at 32 bits too.
+    let src = r#"
+        int main(void) {
+          char *p = malloc(100);
+          int ok = cheri_length_get(p) == 100;
+          free(p);
+          return ok;
+        }"#;
+    let r = run_with::<CheriotCap>(src, &embedded_profile());
+    assert_eq!(r.outcome, Outcome::Exit(1));
+}
