@@ -9,7 +9,7 @@
 //! * revocation sweeps (§7 temporal-safety extension) — free() cost with
 //!   many live capabilities in memory.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use cheri_qc::bench::{black_box, Bench as Criterion};
 
 use cheri_cap::MorelloCap;
 use cheri_mem::{CheriMemory, IntVal, MemConfig, TagInvalidation};
@@ -121,11 +121,11 @@ fn bench_revocation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
+cheri_qc::bench_group!(
     benches,
     bench_padding,
     bench_tag_invalidation,
     bench_provenance_checking,
     bench_revocation
 );
-criterion_main!(benches);
+cheri_qc::bench_main!(benches);

@@ -3,18 +3,17 @@
 //! checks, and byte encode/decode — the operations every memory access in
 //! the semantics performs.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cheri_qc::bench::{black_box, Bench as Criterion};
+use cheri_qc::Rng;
 
 use cheri_cap::{Capability, CheriotCap, MorelloCap};
 
 fn regions(n: usize) -> Vec<(u64, u64)> {
-    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let mut rng = Rng::seed_from_u64(0x5EED);
     (0..n)
         .map(|_| {
             let base: u64 = rng.gen::<u64>() & 0xFFFF_FFFF_FFFF;
-            let len: u64 = 1 << rng.gen_range(0..40);
+            let len: u64 = 1u64 << rng.gen_range(0u32..40);
             (base, len + rng.gen_range(0..len.max(2)))
         })
         .collect()
@@ -38,7 +37,7 @@ fn bench_set_bounds(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0u64;
             for (base, len) in &rs {
-                let cap = root32.with_bounds(base & 0xFFFF_FFF, len & 0xFF_FFFF);
+                let cap = root32.with_bounds(base & 0x0FFF_FFFF, len & 0x00FF_FFFF);
                 acc ^= cap.bounds().base;
             }
             black_box(acc)
@@ -67,7 +66,7 @@ fn bench_representability(c: &mut Criterion) {
         .into_iter()
         .map(|(base, len)| MorelloCap::root().with_bounds(base, len))
         .collect();
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Rng::seed_from_u64(7);
     let probes: Vec<u64> = (0..256).map(|_| rng.gen()).collect();
     c.bench_function("cap/morello/is_representable", |b| {
         b.iter(|| {
@@ -113,11 +112,11 @@ fn bench_byte_roundtrip(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
+cheri_qc::bench_group!(
     benches,
     bench_set_bounds,
     bench_decode_bounds,
     bench_representability,
     bench_byte_roundtrip
 );
-criterion_main!(benches);
+cheri_qc::bench_main!(benches);

@@ -3,7 +3,7 @@
 //! semantics, an emulated hardware implementation, and the ISO baseline,
 //! plus the cost of running the complete 94-test validation suite.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use cheri_qc::bench::{black_box, Bench as Criterion};
 
 use cheri_core::{compile, run, Interp, MorelloCap, Profile};
 
@@ -95,5 +95,6 @@ fn bench_suite(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_programs, bench_frontend, bench_suite);
-criterion_main!(benches);
+cheri_qc::bench_group!(
+    benches, bench_programs, bench_frontend, bench_suite);
+cheri_qc::bench_main!(benches);

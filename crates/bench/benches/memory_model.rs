@@ -4,7 +4,7 @@
 //! tag/permission checks + provenance), and capability-preserving `memcpy`
 //! costs more than plain data copies.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use cheri_qc::bench::{black_box, Bench as Criterion};
 
 use cheri_bench::MEM_OPS;
 use cheri_cap::{Capability, MorelloCap};
@@ -124,11 +124,11 @@ fn bench_allocation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
+cheri_qc::bench_group!(
     benches,
     bench_scalar_ops,
     bench_pointer_heavy,
     bench_memcpy,
     bench_allocation
 );
-criterion_main!(benches);
+cheri_qc::bench_main!(benches);

@@ -6,68 +6,43 @@
 //! ```sh
 //! cargo run --release -p cheri-bench --bin oracle_fuzz -- [count] [base-seed]
 //! ```
+//!
+//! A fixed prefix of this stream (seeds 0..64) also runs on every
+//! `cargo test -q` as the deterministic differential corpus
+//! (`tests/oracle_corpus.rs`); this binary is the extended-range driver.
+//! Any divergence is automatically shrunk by statement deletion to a
+//! minimal reproducing program and printed together with a ready-to-paste
+//! entry for `crates/testsuite/src/regressions.rs`.
 
-use cheri_bench::progen::generate;
-use cheri_core::{run, Outcome, Profile};
+use cheri_bench::corpus::{render_divergence, render_stats, run_corpus};
+use cheri_core::Profile;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let count: u64 = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(200);
-    let base: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
+    let mut num = |what: &str, default: u64| match args.next() {
+        None => default,
+        Some(a) => a.parse().unwrap_or_else(|_| {
+            eprintln!("oracle_fuzz: {what} must be a number, got {a:?}");
+            eprintln!("usage: oracle_fuzz [count] [base-seed]");
+            std::process::exit(2);
+        }),
+    };
+    let count = num("count", 200);
+    let base = num("base-seed", 0);
 
     let profiles = Profile::all_compared();
-    let mut divergences = 0u64;
-    let mut defined = 0u64;
-    let mut stopped = 0u64;
-
-    println!("oracle fuzz: {count} well-defined + {count} buggy programs, seeds {base}..");
-    for seed in base..base + count {
-        // Well-defined family: every configuration must exit with the
-        // oracle's value.
-        let g = generate(seed, false);
-        let want = Outcome::Exit(g.expected_exit.expect("well-defined"));
-        defined += 1;
-        for p in &profiles {
-            let r = run(&g.source, p);
-            if r.outcome != want {
-                divergences += 1;
-                println!(
-                    "DIVERGENCE seed={seed} profile={} expected {want} got {}",
-                    p.name, r.outcome
-                );
-                println!("{}", g.source);
-            }
-        }
-        // Buggy family: every CHERI configuration must stop (UB or trap).
-        let g = generate(seed, true);
-        for p in &profiles {
-            let r = run(&g.source, p);
-            match r.outcome {
-                Outcome::Ub { .. } | Outcome::Trap { .. } => stopped += 1,
-                Outcome::Exit(_) | Outcome::Abort | Outcome::AssertFailed(_) => {
-                    // An injected bug can be masked (e.g. the free() variant
-                    // under a hardware profile which has no allocator
-                    // bookkeeping checks); count but don't fail.
-                }
-                Outcome::Error(e) => {
-                    divergences += 1;
-                    println!("ERROR seed={seed} profile={}: {e}", p.name);
-                }
-            }
-        }
-    }
     println!(
-        "\n{defined} defined programs x {} configurations: {divergences} divergences",
+        "oracle fuzz: {count} well-defined + {count} buggy programs, seeds {base}.., \
+         {} configurations",
         profiles.len()
     );
-    println!(
-        "{count} buggy programs: {stopped}/{} configuration-runs safety-stopped",
-        count * profiles.len() as u64
-    );
-    if divergences > 0 {
+
+    let (stats, divergences) = run_corpus(base, count, &profiles);
+    for d in &divergences {
+        println!("{}", render_divergence(d));
+    }
+    println!("\n{}", render_stats(&stats, profiles.len(), divergences.len()));
+    if !divergences.is_empty() {
         std::process::exit(1);
     }
     println!("oracle agrees with every configuration.");

@@ -15,6 +15,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod corpus;
 pub mod progen;
 
 /// Workload sizes shared between benches so results are comparable.

@@ -1,4 +1,5 @@
-//! Random CHERI C program generation with a built-in oracle.
+//! Random CHERI C program generation with a built-in oracle and a
+//! trace-level shrinker.
 //!
 //! §7 of the paper: "The fact that our semantics is executable means that it
 //! could be used as a test oracle for more aggressive compiler testing,
@@ -14,11 +15,272 @@
 //!
 //! Every implementation configuration must give the generated exit code for
 //! the first family and a safety stop for the second.
+//!
+//! Unlike the original emit-strings-as-you-go design, generation now records
+//! a **trace** of abstract statements ([`TraceStmt`]) from which both the C
+//! source and the oracle's expected exit code are derived *after* the fact
+//! ([`TracedProgram::source`] / [`TracedProgram::oracle_exit`]). Because the
+//! oracle is recomputed from whatever statements remain, a divergence can be
+//! minimised by **statement deletion** ([`shrink_program`]): remove
+//! statements (and then unreferenced arrays) while the divergence persists,
+//! re-deriving the expected exit code for every candidate.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cheri_qc::Rng;
 
-/// A generated program plus its expected behaviour.
+/// One abstract statement of a generated program. Each knows how to render
+/// itself as C and how to replay itself against shadow arrays to update the
+/// oracle's accumulator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceStmt {
+    /// `a[i] = v;` in one of three syntactic styles (index, pointer
+    /// arithmetic, `uintptr_t` round trip).
+    Write {
+        /// Array id.
+        arr: usize,
+        /// In-bounds element index.
+        idx: usize,
+        /// Value stored.
+        val: i64,
+        /// Syntactic style 0..3.
+        style: u8,
+    },
+    /// `s += a[i];` in one of three syntactic styles.
+    Read {
+        /// Array id.
+        arr: usize,
+        /// In-bounds element index.
+        idx: usize,
+        /// Syntactic style 0..3.
+        style: u8,
+    },
+    /// `for (...) s += a[i];` over the whole array.
+    LoopSum {
+        /// Array id.
+        arr: usize,
+    },
+    /// `memcpy(dst, src, n * sizeof(int));`
+    Memcpy {
+        /// Source array id.
+        from: usize,
+        /// Destination array id (≠ `from`).
+        to: usize,
+        /// Elements copied (≤ both sizes).
+        n: usize,
+    },
+    /// `s += get(a, i);` through the helper function.
+    HelperCall {
+        /// Array id.
+        arr: usize,
+        /// In-bounds element index.
+        idx: usize,
+    },
+    /// Walk a pointer from `a + start` down to `a`, summing.
+    PtrWalk {
+        /// Array id.
+        arr: usize,
+        /// Starting element index.
+        start: usize,
+    },
+    /// An injected spatial violation (makes the program buggy; the oracle
+    /// becomes "must safety-stop").
+    Bug {
+        /// Array id.
+        arr: usize,
+        /// Violation kind 0..3 (one-past write, far-off read, bad free).
+        kind: u8,
+    },
+}
+
+/// A generated array: `int a{id}[size];`, zero-initialised.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Array {
+    /// Stable id; the C identifier is `a{id}`. Ids survive shrinking so
+    /// statement operands never need renaming.
+    pub id: usize,
+    /// Element count.
+    pub size: usize,
+}
+
+impl Array {
+    fn name(&self) -> String {
+        format!("a{}", self.id)
+    }
+}
+
+impl TraceStmt {
+    /// Array ids this statement references.
+    #[must_use]
+    pub fn touches(&self) -> Vec<usize> {
+        match *self {
+            TraceStmt::Write { arr, .. }
+            | TraceStmt::Read { arr, .. }
+            | TraceStmt::LoopSum { arr }
+            | TraceStmt::HelperCall { arr, .. }
+            | TraceStmt::PtrWalk { arr, .. }
+            | TraceStmt::Bug { arr, .. } => vec![arr],
+            TraceStmt::Memcpy { from, to, .. } => vec![from, to],
+        }
+    }
+
+    fn emit(&self, name_of: impl Fn(usize) -> String) -> String {
+        match self {
+            TraceStmt::Write { arr, idx, val, style } => {
+                let name = name_of(*arr);
+                match style {
+                    0 => format!("{name}[{idx}] = {val};"),
+                    1 => format!("*({name} + {idx}) = {val};"),
+                    _ => format!("*(int*)((uintptr_t){name} + {idx} * sizeof(int)) = {val};"),
+                }
+            }
+            TraceStmt::Read { arr, idx, style } => {
+                let name = name_of(*arr);
+                match style {
+                    0 => format!("s += {name}[{idx}];"),
+                    1 => format!("s += *({name} + {idx});"),
+                    _ => format!("s += *(int*)((uintptr_t){name} + {idx} * sizeof(int));"),
+                }
+            }
+            TraceStmt::LoopSum { arr } => {
+                let name = name_of(*arr);
+                format!("for (int i = 0; i < SIZE_{name}; i++) s += {name}[i];")
+            }
+            TraceStmt::Memcpy { from, to, n } => {
+                format!("memcpy({}, {}, {n} * sizeof(int));", name_of(*to), name_of(*from))
+            }
+            TraceStmt::HelperCall { arr, idx } => {
+                format!("s += get({}, {idx});", name_of(*arr))
+            }
+            TraceStmt::PtrWalk { arr, start } => {
+                let name = name_of(*arr);
+                format!("{{ int *p = {name} + {start}; while (p != {name}) {{ p--; s += *p; }} }}")
+            }
+            TraceStmt::Bug { arr, kind } => {
+                let name = name_of(*arr);
+                match kind {
+                    0 => format!("{name}[SIZE_{name}] = 1; /* one past */"),
+                    1 => format!("s += {name}[SIZE_{name} + 7]; /* far off */"),
+                    _ => format!("{{ int *p = {name}; free(p); /* not a heap pointer */ }}"),
+                }
+            }
+        }
+    }
+}
+
+/// A generated program as an abstract trace: arrays + statements. The C
+/// source and the oracle verdict are derived views, so the trace can be
+/// edited (shrunk) and both views stay consistent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TracedProgram {
+    /// The seed this program was generated from (preserved through
+    /// shrinking for replay).
+    pub seed: u64,
+    /// Declared arrays.
+    pub arrays: Vec<Array>,
+    /// Statement trace, in program order.
+    pub stmts: Vec<TraceStmt>,
+}
+
+impl TracedProgram {
+    /// Does the trace contain an injected violation?
+    #[must_use]
+    pub fn is_buggy(&self) -> bool {
+        self.stmts.iter().any(|s| matches!(s, TraceStmt::Bug { .. }))
+    }
+
+    /// Render the C source for the current trace.
+    #[must_use]
+    pub fn source(&self) -> String {
+        let mut decls = String::new();
+        for a in &self.arrays {
+            let name = a.name();
+            let size = a.size;
+            decls.push_str(&format!("  int {name}[{size}];\n"));
+            decls.push_str(&format!(
+                "  for (int i = 0; i < {size}; i++) {name}[i] = 0;\n"
+            ));
+        }
+        let mut body = String::new();
+        for s in &self.stmts {
+            let line = s.emit(|id| format!("a{id}"));
+            // `SIZE_aN` placeholders keep statement text independent of the
+            // array table; substitute the real extents here.
+            let line = self.arrays.iter().fold(line, |l, a| {
+                l.replace(&format!("SIZE_{}", a.name()), &a.size.to_string())
+            });
+            body.push_str("  ");
+            body.push_str(&line);
+            body.push('\n');
+        }
+        format!(
+            "#include <stdint.h>\n\
+             int get(int *a, int i) {{ return a[i]; }}\n\
+             int main(void) {{\n{decls}  long s = 0;\n{body}  \
+             return (int)(s < 0 ? (-s) % 97 : s % 97);\n}}\n"
+        )
+    }
+
+    /// Replay the trace against shadow arrays and return the expected exit
+    /// code — `None` if the trace contains an injected violation (then the
+    /// only expectation is a safety stop).
+    #[must_use]
+    pub fn oracle_exit(&self) -> Option<i64> {
+        if self.is_buggy() {
+            return None;
+        }
+        let mut shadow: Vec<(usize, Vec<i64>)> = self
+            .arrays
+            .iter()
+            .map(|a| (a.id, vec![0i64; a.size]))
+            .collect();
+        let idx_of = |shadow: &Vec<(usize, Vec<i64>)>, id: usize| {
+            shadow.iter().position(|(i, _)| *i == id).expect("array id")
+        };
+        let mut acc = 0i64;
+        for s in &self.stmts {
+            match *s {
+                TraceStmt::Write { arr, idx, val, .. } => {
+                    let a = idx_of(&shadow, arr);
+                    shadow[a].1[idx] = val;
+                }
+                TraceStmt::Read { arr, idx, .. } | TraceStmt::HelperCall { arr, idx } => {
+                    let a = idx_of(&shadow, arr);
+                    acc += shadow[a].1[idx];
+                }
+                TraceStmt::LoopSum { arr } => {
+                    let a = idx_of(&shadow, arr);
+                    acc += shadow[a].1.iter().sum::<i64>();
+                }
+                TraceStmt::Memcpy { from, to, n } => {
+                    let f = idx_of(&shadow, from);
+                    let t = idx_of(&shadow, to);
+                    let src: Vec<i64> = shadow[f].1[..n].to_vec();
+                    shadow[t].1[..n].copy_from_slice(&src);
+                }
+                TraceStmt::PtrWalk { arr, start } => {
+                    let a = idx_of(&shadow, arr);
+                    acc += shadow[a].1[..start].iter().sum::<i64>();
+                }
+                TraceStmt::Bug { .. } => unreachable!("checked is_buggy above"),
+            }
+        }
+        Some(if acc < 0 { (-acc) % 97 } else { acc % 97 })
+    }
+
+    /// Drop arrays no remaining statement references (shrinking aid; ids —
+    /// and hence C identifiers — of the surviving arrays are unchanged).
+    pub fn drop_unreferenced_arrays(&mut self) {
+        let mut used = vec![false; self.arrays.iter().map(|a| a.id).max().map_or(0, |m| m + 1)];
+        for s in &self.stmts {
+            for id in s.touches() {
+                used[id] = true;
+            }
+        }
+        self.arrays.retain(|a| used[a.id]);
+    }
+}
+
+/// A generated program plus its expected behaviour — the rendered view of a
+/// [`TracedProgram`], kept for the oracle-fuzz binary and examples.
 #[derive(Clone, Debug)]
 pub struct GenProgram {
     /// The C source.
@@ -30,188 +292,141 @@ pub struct GenProgram {
     pub seed: u64,
 }
 
-struct Gen {
-    rng: StdRng,
-    body: String,
-    arrays: Vec<(String, usize, Vec<i64>)>,
-    acc: i64,
-    stmt_budget: usize,
-}
-
-impl Gen {
-    fn new(seed: u64) -> Self {
-        Gen {
-            rng: StdRng::seed_from_u64(seed),
-            body: String::new(),
-            arrays: Vec::new(),
-            acc: 0,
-            stmt_budget: 0,
-        }
-    }
-
-    fn emit(&mut self, line: &str) {
-        self.body.push_str("  ");
-        self.body.push_str(line);
-        self.body.push('\n');
-    }
-
-    fn pick_array(&mut self) -> usize {
-        self.rng.gen_range(0..self.arrays.len())
-    }
-
-    fn stmt_write(&mut self) {
-        let a = self.pick_array();
-        let (name, size, _) = self.arrays[a].clone();
-        let i = self.rng.gen_range(0..size);
-        let v = self.rng.gen_range(-100..100i64);
-        let style = self.rng.gen_range(0..3);
-        match style {
-            0 => self.emit(&format!("{name}[{i}] = {v};")),
-            1 => self.emit(&format!("*({name} + {i}) = {v};")),
-            _ => self.emit(&format!(
-                "*(int*)((uintptr_t){name} + {i} * sizeof(int)) = {v};"
-            )),
-        }
-        self.arrays[a].2[i] = v;
-    }
-
-    fn stmt_read(&mut self) {
-        let a = self.pick_array();
-        let (name, size, vals) = self.arrays[a].clone();
-        let i = self.rng.gen_range(0..size);
-        let style = self.rng.gen_range(0..3);
-        match style {
-            0 => self.emit(&format!("s += {name}[{i}];")),
-            1 => self.emit(&format!("s += *({name} + {i});")),
-            _ => self.emit(&format!(
-                "s += *(int*)((uintptr_t){name} + {i} * sizeof(int));"
-            )),
-        }
-        self.acc += vals[i];
-    }
-
-    fn stmt_loop_sum(&mut self) {
-        let a = self.pick_array();
-        let (name, size, vals) = self.arrays[a].clone();
-        self.emit(&format!(
-            "for (int i = 0; i < {size}; i++) s += {name}[i];"
-        ));
-        self.acc += vals.iter().sum::<i64>();
-    }
-
-    fn stmt_memcpy(&mut self) {
-        if self.arrays.len() < 2 {
-            return;
-        }
-        let a = self.pick_array();
-        let mut b = self.pick_array();
-        if a == b {
-            b = (b + 1) % self.arrays.len();
-        }
-        let n = self.arrays[a].1.min(self.arrays[b].1);
-        let n = self.rng.gen_range(1..=n);
-        let (src, _, sv) = self.arrays[a].clone();
-        let (dst, _, _) = self.arrays[b].clone();
-        self.emit(&format!("memcpy({dst}, {src}, {n} * sizeof(int));"));
-        self.arrays[b].2[..n].copy_from_slice(&sv[..n]);
-    }
-
-    fn stmt_helper_call(&mut self) {
-        let a = self.pick_array();
-        let (name, size, vals) = self.arrays[a].clone();
-        let i = self.rng.gen_range(0..size);
-        self.emit(&format!("s += get({name}, {i});"));
-        self.acc += vals[i];
-    }
-
-    fn stmt_ptr_walk(&mut self) {
-        let a = self.pick_array();
-        let (name, size, vals) = self.arrays[a].clone();
-        let start = self.rng.gen_range(0..size);
-        self.emit(&format!(
-            "{{ int *p = {name} + {start}; while (p != {name}) {{ p--; s += *p; }} }}"
-        ));
-        self.acc += vals[..start].iter().sum::<i64>();
-    }
-
-    fn random_stmt(&mut self) {
-        match self.rng.gen_range(0..12) {
-            0..=3 => self.stmt_write(),
-            4..=6 => self.stmt_read(),
-            7 => self.stmt_loop_sum(),
-            8 => self.stmt_memcpy(),
-            9 => self.stmt_helper_call(),
-            _ => self.stmt_ptr_walk(),
-        }
-    }
-
-    fn inject_bug(&mut self) {
-        let a = self.pick_array();
-        let (name, size, _) = self.arrays[a].clone();
-        match self.rng.gen_range(0..3) {
-            0 => self.emit(&format!("{name}[{size}] = 1; /* one past */")),
-            1 => self.emit(&format!("s += {name}[{}]; /* far off */", size + 7)),
-            _ => self.emit(&format!(
-                "{{ int *p = {name}; free(p); /* not a heap pointer */ }}"
-            )),
-        }
-    }
-
-    fn finish(self, expected: Option<i64>) -> (String, Option<i64>) {
-        let mut decls = String::new();
-        for (name, size, init) in &self.arrays {
-            let vals: Vec<String> = init.iter().map(|_| "0".to_string()).collect();
-            let _ = vals;
-            decls.push_str(&format!("  int {name}[{size}];\n"));
-            decls.push_str(&format!(
-                "  for (int i = 0; i < {size}; i++) {name}[i] = 0;\n"
-            ));
-        }
-        let src = format!(
-            "#include <stdint.h>\n\
-             int get(int *a, int i) {{ return a[i]; }}\n\
-             int main(void) {{\n{decls}  long s = 0;\n{}  \
-             return (int)(s < 0 ? (-s) % 97 : s % 97);\n}}\n",
-            self.body
-        );
-        (src, expected)
-    }
-}
-
-/// Generate a program from `seed`. `buggy` injects one spatial violation at
-/// a random point (after which the oracle stops being meaningful).
+/// Generate the abstract trace for `seed`. `buggy` injects one spatial
+/// violation at a random point (after which the oracle stops being
+/// meaningful and the expectation becomes "safety stop").
 #[must_use]
-pub fn generate(seed: u64, buggy: bool) -> GenProgram {
-    let mut g = Gen::new(seed);
-    let n_arrays = g.rng.gen_range(1..4usize);
-    for k in 0..n_arrays {
-        let size = g.rng.gen_range(2..12usize);
-        g.arrays.push((format!("a{k}"), size, vec![0; size]));
-    }
-    g.stmt_budget = g.rng.gen_range(4..20);
-    let bug_at = if buggy {
-        Some(g.rng.gen_range(0..g.stmt_budget))
-    } else {
-        None
+pub fn generate_traced(seed: u64, buggy: bool) -> TracedProgram {
+    let mut rng = Rng::seed_from_u64(seed);
+    let n_arrays = rng.gen_range(1..4usize);
+    let arrays: Vec<Array> = (0..n_arrays)
+        .map(|id| Array {
+            id,
+            size: rng.gen_range(2..12usize),
+        })
+        .collect();
+    let mut prog = TracedProgram {
+        seed,
+        arrays,
+        stmts: Vec::new(),
     };
-    for i in 0..g.stmt_budget {
+    let budget = rng.gen_range(4..20usize);
+    let bug_at = if buggy { Some(rng.gen_range(0..budget)) } else { None };
+    for i in 0..budget {
         if bug_at == Some(i) {
-            g.inject_bug();
+            let arr = rng.gen_range(0..prog.arrays.len());
+            let kind = rng.gen_range(0..3u8);
+            prog.stmts.push(TraceStmt::Bug { arr, kind });
             break;
         }
-        g.random_stmt();
+        let stmt = random_stmt(&mut rng, &prog.arrays);
+        prog.stmts.push(stmt);
     }
-    let expected = if buggy {
-        None
-    } else {
-        let s = g.acc;
-        Some(if s < 0 { (-s) % 97 } else { s % 97 })
-    };
-    let (source, expected_exit) = g.finish(expected);
+    prog
+}
+
+fn random_stmt(rng: &mut Rng, arrays: &[Array]) -> TraceStmt {
+    let pick = |rng: &mut Rng| rng.gen_range(0..arrays.len());
+    match rng.gen_range(0..12u8) {
+        0..=3 => {
+            let arr = pick(rng);
+            let idx = rng.gen_range(0..arrays[arr].size);
+            let val = rng.gen_range(-100..100i64);
+            let style = rng.gen_range(0..3u8);
+            TraceStmt::Write { arr, idx, val, style }
+        }
+        4..=6 => {
+            let arr = pick(rng);
+            let idx = rng.gen_range(0..arrays[arr].size);
+            let style = rng.gen_range(0..3u8);
+            TraceStmt::Read { arr, idx, style }
+        }
+        7 => TraceStmt::LoopSum { arr: pick(rng) },
+        8 => {
+            if arrays.len() < 2 {
+                // Mirror the old generator: a memcpy pick with one array
+                // degrades to a loop-sum rather than re-rolling.
+                return TraceStmt::LoopSum { arr: 0 };
+            }
+            let from = pick(rng);
+            let mut to = pick(rng);
+            if from == to {
+                to = (to + 1) % arrays.len();
+            }
+            let max = arrays[from].size.min(arrays[to].size);
+            let n = rng.gen_range(1..=max);
+            TraceStmt::Memcpy { from, to, n }
+        }
+        9 => {
+            let arr = pick(rng);
+            let idx = rng.gen_range(0..arrays[arr].size);
+            TraceStmt::HelperCall { arr, idx }
+        }
+        _ => {
+            let arr = pick(rng);
+            let start = rng.gen_range(0..arrays[arr].size);
+            TraceStmt::PtrWalk { arr, start }
+        }
+    }
+}
+
+/// Generate a program from `seed` (rendered view).
+#[must_use]
+pub fn generate(seed: u64, buggy: bool) -> GenProgram {
+    let t = generate_traced(seed, buggy);
     GenProgram {
-        source,
-        expected_exit,
+        source: t.source(),
+        expected_exit: t.oracle_exit(),
         seed,
+    }
+}
+
+/// Minimise a program by statement deletion while `still_fails` holds.
+///
+/// ddmin-lite: try deleting exponentially smaller chunks of the statement
+/// trace, then single statements, then unreferenced arrays, iterating to a
+/// fixpoint. `still_fails` receives each candidate (with its oracle
+/// re-derived by the caller via [`TracedProgram::oracle_exit`]) and returns
+/// whether the divergence is still observable. The returned program is
+/// 1-minimal: deleting any single remaining statement makes the failure
+/// disappear.
+pub fn shrink_program<F>(prog: &TracedProgram, mut still_fails: F) -> TracedProgram
+where
+    F: FnMut(&TracedProgram) -> bool,
+{
+    let mut cur = prog.clone();
+    loop {
+        let before = cur.stmts.len();
+        // Chunked deletion: halves, quarters, ... down to single statements.
+        let mut chunk = (cur.stmts.len() / 2).max(1);
+        loop {
+            let mut i = 0;
+            while i < cur.stmts.len() {
+                let mut cand = cur.clone();
+                let end = (i + chunk).min(cand.stmts.len());
+                cand.stmts.drain(i..end);
+                if still_fails(&cand) {
+                    cur = cand;
+                    // Same position now holds the next chunk.
+                } else {
+                    i += chunk;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        // Drop arrays nothing references any more (can enable nothing
+        // further, but shortens the report).
+        let mut cand = cur.clone();
+        cand.drop_unreferenced_arrays();
+        if cand != cur && still_fails(&cand) {
+            cur = cand;
+        }
+        if cur.stmts.len() == before {
+            return cur;
+        }
     }
 }
 
@@ -251,5 +466,81 @@ mod tests {
             }
         }
         assert!(stops >= 35, "only {stops}/40 injected bugs were caught");
+    }
+
+    #[test]
+    fn trace_and_rendered_views_agree() {
+        for seed in 0..60 {
+            let t = generate_traced(seed, seed % 3 == 0);
+            let g = generate(seed, seed % 3 == 0);
+            assert_eq!(t.source(), g.source, "seed {seed}");
+            assert_eq!(t.oracle_exit(), g.expected_exit, "seed {seed}");
+            assert_eq!(t.is_buggy(), g.expected_exit.is_none(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn oracle_replay_is_deletion_stable() {
+        // Deleting a statement must still yield a replayable, well-defined
+        // program whose recomputed oracle matches an actual run.
+        for seed in [3u64, 11, 17, 29] {
+            let t = generate_traced(seed, false);
+            for i in 0..t.stmts.len() {
+                let mut cand = t.clone();
+                cand.stmts.remove(i);
+                let want = cand.oracle_exit().expect("still well-defined");
+                let r = run(&cand.source(), &Profile::cerberus());
+                assert_eq!(
+                    r.outcome,
+                    Outcome::Exit(want),
+                    "seed {seed}, deleted stmt {i}\n{}",
+                    cand.source()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shrinker_reaches_one_minimal_trace() {
+        // Plant a synthetic failure — "the program reads array 0 at least
+        // once" — and check the shrinker strips everything else.
+        let t = generate_traced(5, false);
+        let fails = |p: &TracedProgram| {
+            p.stmts
+                .iter()
+                .any(|s| matches!(s, TraceStmt::Read { arr: 0, .. } | TraceStmt::LoopSum { arr: 0 }))
+        };
+        if !fails(&t) {
+            // Make sure the premise holds for this seed.
+            let mut t = t;
+            t.stmts.push(TraceStmt::Read { arr: 0, idx: 0, style: 0 });
+            let min = shrink_program(&t, fails);
+            assert_eq!(min.stmts.len(), 1, "{min:?}");
+            return;
+        }
+        let min = shrink_program(&t, fails);
+        assert_eq!(min.stmts.len(), 1, "{min:?}");
+        assert!(fails(&min));
+        // 1-minimality: deleting the last statement kills the failure.
+        let mut none = min.clone();
+        none.stmts.clear();
+        assert!(!fails(&none));
+    }
+
+    #[test]
+    fn shrinker_drops_unreferenced_arrays() {
+        let mut t = generate_traced(9, false);
+        // Force multiple arrays, then a failure that only needs one stmt.
+        if t.arrays.len() < 2 {
+            t.arrays.push(Array { id: t.arrays.len(), size: 4 });
+        }
+        t.stmts.push(TraceStmt::Read { arr: 0, idx: 0, style: 0 });
+        let min = shrink_program(&t, |p| {
+            p.stmts
+                .iter()
+                .any(|s| matches!(s, TraceStmt::Read { arr: 0, .. }))
+        });
+        assert_eq!(min.arrays.len(), 1, "{min:?}");
+        assert_eq!(min.arrays[0].id, 0);
     }
 }

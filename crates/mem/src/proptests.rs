@@ -1,8 +1,11 @@
 //! Property-based tests of the memory object model: random well-defined
 //! operation sequences checked against a shadow model, and the model's
-//! safety invariants.
+//! safety invariants. Runs on the hermetic `cheri-qc` harness —
+//! deterministic cases, seed-pinned replay (`CHERI_QC_SEED=...`), and
+//! shrinking by operation deletion.
 
-use proptest::prelude::*;
+use cheri_qc::prop::{check, Config};
+use cheri_qc::Rng;
 
 use cheri_cap::{Capability, MorelloCap};
 
@@ -25,20 +28,33 @@ enum Op {
     Set { target: u8, byte: u8, len: u8 },
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec(
-        prop_oneof![
-            (8u8..64).prop_map(|size| Op::Alloc { size }),
-            (any::<u8>(), any::<u8>(), any::<i32>())
-                .prop_map(|(target, off, val)| Op::Store { target, off, val }),
-            (any::<u8>(), any::<u8>()).prop_map(|(target, off)| Op::Load { target, off }),
-            (any::<u8>(), any::<u8>(), 1u8..32)
-                .prop_map(|(from, to, len)| Op::Copy { from, to, len }),
-            (any::<u8>(), any::<u8>(), 1u8..32)
-                .prop_map(|(target, byte, len)| Op::Set { target, byte, len }),
-        ],
-        1..60,
-    )
+cheri_qc::no_shrink!(Op);
+
+fn arb_op(rng: &mut Rng) -> Op {
+    match rng.gen_range(0..5u8) {
+        0 => Op::Alloc { size: rng.gen_range(8u8..64) },
+        1 => Op::Store {
+            target: rng.gen(),
+            off: rng.gen(),
+            val: rng.gen(),
+        },
+        2 => Op::Load { target: rng.gen(), off: rng.gen() },
+        3 => Op::Copy {
+            from: rng.gen(),
+            to: rng.gen(),
+            len: rng.gen_range(1u8..32),
+        },
+        _ => Op::Set {
+            target: rng.gen(),
+            byte: rng.gen(),
+            len: rng.gen_range(1u8..32),
+        },
+    }
+}
+
+fn arb_ops(rng: &mut Rng) -> Vec<Op> {
+    let n = rng.gen_range(1usize..60);
+    (0..n).map(|_| arb_op(rng)).collect()
 }
 
 /// Shadow model: per allocation, a byte array mirroring what the program
@@ -47,17 +63,15 @@ struct Shadow {
     allocs: Vec<(PtrVal<MorelloCap>, Vec<Option<u8>>)>,
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Every in-bounds operation sequence is defined, and loads return
-    /// exactly what the shadow model predicts.
-    #[test]
-    fn defined_sequences_match_shadow(ops in arb_ops()) {
+/// Every in-bounds operation sequence is defined, and loads return
+/// exactly what the shadow model predicts.
+#[test]
+fn defined_sequences_match_shadow() {
+    check("defined_sequences_match_shadow", Config::cases(256), arb_ops, |ops| {
         let mut mem = Mem::new(MemConfig::cheri_reference());
         let mut sh = Shadow { allocs: Vec::new() };
         for op in ops {
-            match op {
+            match *op {
                 Op::Alloc { size } => {
                     let size = u64::from(size).max(4);
                     let p = mem.allocate_region(size, 16).expect("allocate");
@@ -87,10 +101,10 @@ proptest! {
                     if let Some(bytes) = bytes {
                         let want = i32::from_le_bytes(bytes.try_into().expect("4 bytes"));
                         let got = mem.load_int(&p, 4, true, false).expect("load");
-                        prop_assert_eq!(got.value(), i128::from(want));
+                        assert_eq!(got.value(), i128::from(want));
                     } else {
                         // Uninitialised (fully or partially): UB, not a panic.
-                        prop_assert!(mem.load_int(&p, 4, true, false).is_err());
+                        assert!(mem.load_int(&p, 4, true, false).is_err());
                     }
                 }
                 Op::Copy { from, to, len } => {
@@ -119,64 +133,91 @@ proptest! {
                 }
             }
         }
-    }
+    });
+}
 
-    /// Unforgeability at the model level: the number of *tagged*
-    /// capabilities in memory only grows through capability stores
-    /// (store_ptr / capability-preserving memcpy); data writes never mint
-    /// tags.
-    #[test]
-    fn data_writes_never_mint_tags(
-        writes in prop::collection::vec((any::<u8>(), any::<u8>()), 1..40)
-    ) {
-        let mut mem = Mem::new(MemConfig::cheri_reference());
-        let x = mem.allocate_object("x", 4, 4, false, Some(&[0; 4])).expect("x");
-        let slots = mem.allocate_object("slots", 16 * 8, 16, false, None).expect("slots");
-        for i in 0..8 {
-            let p = mem.array_shift(&slots, 16, i).expect("shift");
-            mem.store_ptr(&p, &x).expect("store");
-        }
-        let before = mem.tagged_caps_in_memory();
-        for (off, val) in writes {
-            let off = i64::from(off) % (16 * 8 - 4);
-            let p = mem.array_shift(&slots, 1, off).expect("shift");
-            mem.store_int(&p, 4, &IntVal::Num(i128::from(val))).expect("store");
-            prop_assert!(mem.tagged_caps_in_memory() <= before);
-        }
-    }
+/// Unforgeability at the model level: the number of *tagged*
+/// capabilities in memory only grows through capability stores
+/// (store_ptr / capability-preserving memcpy); data writes never mint
+/// tags.
+#[test]
+fn data_writes_never_mint_tags() {
+    check(
+        "data_writes_never_mint_tags",
+        Config::cases(128),
+        |rng| {
+            let n = rng.gen_range(1usize..40);
+            (0..n).map(|_| (rng.gen::<u8>(), rng.gen::<u8>())).collect::<Vec<(u8, u8)>>()
+        },
+        |writes| {
+            let mut mem = Mem::new(MemConfig::cheri_reference());
+            let x = mem.allocate_object("x", 4, 4, false, Some(&[0; 4])).expect("x");
+            let slots = mem.allocate_object("slots", 16 * 8, 16, false, None).expect("slots");
+            for i in 0..8 {
+                let p = mem.array_shift(&slots, 16, i).expect("shift");
+                mem.store_ptr(&p, &x).expect("store");
+            }
+            let before = mem.tagged_caps_in_memory();
+            for &(off, val) in writes {
+                let off = i64::from(off) % (16 * 8 - 4);
+                let p = mem.array_shift(&slots, 1, off).expect("shift");
+                mem.store_int(&p, 4, &IntVal::Num(i128::from(val))).expect("store");
+                assert!(mem.tagged_caps_in_memory() <= before);
+            }
+        },
+    );
+}
 
-    /// Temporal invariant: after kill, every access through any pointer
-    /// into the allocation is UB (abstract machine), regardless of offset.
-    #[test]
-    fn killed_allocations_unreachable(size in 4u64..64, offs in prop::collection::vec(any::<u8>(), 1..8)) {
-        let mut mem = Mem::new(MemConfig::cheri_reference());
-        let size = size & !3;
-        let p = mem.allocate_region(size.max(4), 16).expect("malloc");
-        mem.memset(&p, 1, size.max(4)).expect("memset");
-        mem.kill(&p, true).expect("free");
-        for off in offs {
-            let off = u64::from(off) % size.max(4);
-            let q = PtrVal::new(p.prov, p.cap.with_address(p.addr() + off));
-            prop_assert!(mem.load_int(&q, 1, false, false).is_err());
-        }
-    }
+/// Temporal invariant: after kill, every access through any pointer
+/// into the allocation is UB (abstract machine), regardless of offset.
+#[test]
+fn killed_allocations_unreachable() {
+    check(
+        "killed_allocations_unreachable",
+        Config::cases(128),
+        |rng| {
+            let size = rng.gen_range(4u64..64);
+            let n = rng.gen_range(1usize..8);
+            let offs: Vec<u8> = (0..n).map(|_| rng.gen()).collect();
+            (size, offs)
+        },
+        |&(size, ref offs)| {
+            let size = size.clamp(4, 64) & !3;
+            let mut mem = Mem::new(MemConfig::cheri_reference());
+            let p = mem.allocate_region(size.max(4), 16).expect("malloc");
+            mem.memset(&p, 1, size.max(4)).expect("memset");
+            mem.kill(&p, true).expect("free");
+            for &off in offs {
+                let off = u64::from(off) % size.max(4);
+                let q = PtrVal::new(p.prov, p.cap.with_address(p.addr() + off));
+                assert!(mem.load_int(&q, 1, false, false).is_err());
+            }
+        },
+    );
+}
 
-    /// Capability stores round-trip through memory at any aligned slot and
-    /// preserve every field.
-    #[test]
-    fn pointer_store_load_roundtrip(slot in 0u64..16, narrow in any::<bool>()) {
-        let mut mem = Mem::new(MemConfig::cheri_reference());
-        let x = mem.allocate_object("x", 64, 16, false, Some(&[0; 64])).expect("x");
-        let v = if narrow {
-            PtrVal::new(x.prov, x.cap.with_bounds(x.addr() + 16, 16))
-        } else {
-            x.clone()
-        };
-        let slots = mem.allocate_object("slots", 16 * 16, 16, false, None).expect("slots");
-        let p = mem.array_shift(&slots, 16, slot as i64).expect("shift");
-        mem.store_ptr(&p, &v).expect("store");
-        let back = mem.load_ptr(&p).expect("load");
-        prop_assert_eq!(back.prov, v.prov);
-        prop_assert!(back.cap.exact_eq(&v.cap));
-    }
+/// Capability stores round-trip through memory at any aligned slot and
+/// preserve every field.
+#[test]
+fn pointer_store_load_roundtrip() {
+    check(
+        "pointer_store_load_roundtrip",
+        Config::cases(128),
+        |rng| (rng.gen_range(0u64..16), rng.gen::<bool>()),
+        |&(slot, narrow)| {
+            let mut mem = Mem::new(MemConfig::cheri_reference());
+            let x = mem.allocate_object("x", 64, 16, false, Some(&[0; 64])).expect("x");
+            let v = if narrow {
+                PtrVal::new(x.prov, x.cap.with_bounds(x.addr() + 16, 16))
+            } else {
+                x.clone()
+            };
+            let slots = mem.allocate_object("slots", 16 * 16, 16, false, None).expect("slots");
+            let p = mem.array_shift(&slots, 16, (slot % 16) as i64).expect("shift");
+            mem.store_ptr(&p, &v).expect("store");
+            let back = mem.load_ptr(&p).expect("load");
+            assert_eq!(back.prov, v.prov);
+            assert!(back.cap.exact_eq(&v.cap));
+        },
+    );
 }

@@ -504,7 +504,7 @@ fn iota_resolves_on_first_use_and_stays_resolved() {
     let amb = m.cast_int_to_ptr(&IntVal::Num(i128::from(b.addr())));
     assert!(matches!(amb.prov, Provenance::Iota(_)));
     // First access inside b's footprint resolves the iota to b…
-    let with_cap = PtrVal::new(amb.prov, b.cap.clone());
+    let with_cap = PtrVal::new(amb.prov, b.cap);
     assert_eq!(m.load_int(&with_cap, 4, true, false).unwrap().value(), 5);
     // …after which an access that only fits a is a provenance violation.
     let back_into_a = PtrVal::new(amb.prov, a.cap.with_address(a.addr()));

@@ -194,7 +194,7 @@ mod tests {
     #[test]
     fn intval_signed_interpretation() {
         let cap = MorelloCap::null().with_address(u64::MAX);
-        let signed = IntVal::Cap { signed: true, cap: cap.clone(), prov: Provenance::Empty };
+        let signed = IntVal::Cap { signed: true, cap, prov: Provenance::Empty };
         let unsigned = IntVal::Cap { signed: false, cap, prov: Provenance::Empty };
         assert_eq!(signed.value(), -1);
         assert_eq!(unsigned.value(), i128::from(u64::MAX));

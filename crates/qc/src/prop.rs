@@ -1,0 +1,422 @@
+//! A minimal property-test harness: deterministic case generation,
+//! seed-pinned replay, and input shrinking.
+//!
+//! The shape mirrors what the workspace previously used `proptest` for,
+//! without the dependency:
+//!
+//! ```
+//! use cheri_qc::prop::{check, Config};
+//!
+//! check("addition_commutes", Config::cases(200), |rng| {
+//!     (rng.gen::<u32>() >> 1, rng.gen::<u32>() >> 1)
+//! }, |&(a, b)| {
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+//!
+//! * **Determinism.** Case seeds are derived from a fixed base seed and the
+//!   property name, so `cargo test` runs the exact same inputs every time,
+//!   on every machine. There is no wall-clock or entropy input anywhere.
+//! * **Replay.** On failure the harness prints the case seed. Setting
+//!   `CHERI_QC_SEED=<seed>` reruns *only* that case (for every property in
+//!   the process — combine with the test filter to target one).
+//! * **Shrinking.** When a case fails, the harness walks [`Shrink`]
+//!   candidates of the generated value and reports a locally-minimal
+//!   failing input alongside the original.
+
+use std::fmt::Debug;
+use std::panic::{self, AssertUnwindSafe};
+
+use crate::rng::{Rng, SplitMix64};
+
+/// Environment variable pinning a single replay seed.
+pub const SEED_ENV: &str = "CHERI_QC_SEED";
+
+/// Harness configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of generated cases.
+    pub cases: u32,
+    /// Base seed the per-case streams derive from. Fixed by default: the
+    /// suite is a deterministic corpus, not a different fuzz run each time.
+    pub base_seed: u64,
+    /// Cap on shrinking steps (each step tries all candidates of the
+    /// current value once).
+    pub max_shrink_steps: u32,
+}
+
+impl Config {
+    /// `n` cases with the default base seed.
+    #[must_use]
+    pub fn cases(n: u32) -> Self {
+        Config {
+            cases: n,
+            base_seed: 0xC4E1_21C0_DE00_0001,
+            max_shrink_steps: 2048,
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::cases(256)
+    }
+}
+
+/// Values the harness knows how to make smaller.
+///
+/// `shrink` returns candidate simplifications, most aggressive first. The
+/// harness keeps a candidate only if the property still fails on it, so the
+/// candidates need not preserve any invariant beyond the type's own.
+pub trait Shrink: Sized + Clone {
+    /// Candidate smaller values; empty when already minimal.
+    fn shrink(&self) -> Vec<Self>;
+}
+
+/// Declare a type unshrinkable (the harness then minimises only its
+/// containers, e.g. by deleting `Vec` elements).
+#[macro_export]
+macro_rules! no_shrink {
+    ($($t:ty),* $(,)?) => {$(
+        impl $crate::prop::Shrink for $t {
+            fn shrink(&self) -> Vec<Self> { Vec::new() }
+        }
+    )*};
+}
+
+macro_rules! shrink_uint {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                let mut v = *self;
+                // Halve toward zero: 1000 → 500 → ... → 0.
+                while v != 0 {
+                    v /= 2;
+                    out.push(v);
+                    if out.len() >= 16 { break; }
+                }
+                out
+            }
+        }
+    )*};
+}
+shrink_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! shrink_int {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                if *self < 0 {
+                    // A positive counterexample is simpler than a negative one.
+                    if let Some(p) = self.checked_neg() { out.push(p); }
+                }
+                let mut v = *self;
+                while v != 0 {
+                    v /= 2;
+                    out.push(v);
+                    if out.len() >= 16 { break; }
+                }
+                out
+            }
+        }
+    )*};
+}
+shrink_int!(i8, i16, i32, i64, i128, isize);
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<Self> {
+        if *self { vec![false] } else { Vec::new() }
+    }
+}
+
+impl Shrink for String {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        if !self.is_empty() {
+            out.push(String::new());
+            let mid = self.len() / 2;
+            if self.is_char_boundary(mid) && mid > 0 {
+                out.push(self[..mid].to_string());
+            }
+        }
+        out
+    }
+}
+
+impl<T: Shrink> Shrink for Option<T> {
+    fn shrink(&self) -> Vec<Self> {
+        match self {
+            None => Vec::new(),
+            Some(v) => {
+                let mut out = vec![None];
+                out.extend(v.shrink().into_iter().map(Some));
+                out
+            }
+        }
+    }
+}
+
+impl<T: Shrink> Shrink for Vec<T> {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        let n = self.len();
+        if n == 0 {
+            return out;
+        }
+        // Delete chunks (back half, front half), then single elements, then
+        // shrink elements in place — deletion first keeps reports short.
+        out.push(self[..n / 2].to_vec());
+        out.push(self[n - n / 2..].to_vec());
+        for i in (0..n).rev() {
+            let mut v = self.clone();
+            v.remove(i);
+            out.push(v);
+        }
+        for i in 0..n {
+            for cand in self[i].shrink() {
+                let mut v = self.clone();
+                v[i] = cand;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! shrink_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Shrink),+> Shrink for ($($name,)+) {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink() {
+                        let mut t = self.clone();
+                        t.$idx = cand;
+                        out.push(t);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+shrink_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+);
+
+impl<T: Shrink, const N: usize> Shrink for [T; N] {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for i in 0..N {
+            for cand in self[i].shrink() {
+                let mut a = self.clone();
+                a[i] = cand;
+                out.push(a);
+            }
+        }
+        out
+    }
+}
+
+/// Outcome of running the property once on one value.
+enum Run {
+    Pass,
+    Fail(String),
+}
+
+fn run_once<T, P>(prop: &P, value: &T) -> Run
+where
+    P: Fn(&T),
+{
+    let result = panic::catch_unwind(AssertUnwindSafe(|| prop(value)));
+    match result {
+        Ok(()) => Run::Pass,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "<non-string panic payload>".to_string());
+            Run::Fail(msg)
+        }
+    }
+}
+
+/// Run `prop` on `cfg.cases` values drawn from `gen`.
+///
+/// On failure, shrinks the input and panics with a replayable report
+/// containing the case seed, the original and the minimal failing input,
+/// and the assertion message.
+///
+/// # Panics
+///
+/// Panics iff the property fails for some generated case (that is the test
+/// failure).
+pub fn check<T, G, P>(name: &str, cfg: Config, gen: G, prop: P)
+where
+    T: Debug + Clone + Shrink,
+    G: Fn(&mut Rng) -> T,
+    P: Fn(&T),
+{
+    // Name-keyed stream: properties in one module don't share inputs.
+    let name_key = name
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+        });
+
+    let pinned: Option<u64> = std::env::var(SEED_ENV).ok().map(|s| {
+        let s = s.trim();
+        // Accept the decimal form the failure report prints, plus 0x-hex.
+        let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => s.parse(),
+        };
+        parsed.unwrap_or_else(|_| {
+            panic!("{SEED_ENV}={s:?} is not a u64 seed (decimal or 0x-hex)")
+        })
+    });
+
+    let case_seeds: Vec<u64> = match pinned {
+        Some(seed) => vec![seed],
+        None => (0..u64::from(cfg.cases))
+            .map(|i| SplitMix64::mix(cfg.base_seed ^ name_key, i))
+            .collect(),
+    };
+
+    for (case, &seed) in case_seeds.iter().enumerate() {
+        let mut rng = Rng::seed_from_u64(seed);
+        let value = gen(&mut rng);
+        if let Run::Fail(first_msg) = run_once(&prop, &value) {
+            // Quiet the default panic hook while shrinking re-runs the
+            // property; restore it before reporting.
+            let hook = panic::take_hook();
+            panic::set_hook(Box::new(|_| {}));
+            let (minimal, last_msg, steps) =
+                shrink_failure(&prop, value.clone(), first_msg.clone(), cfg.max_shrink_steps);
+            panic::set_hook(hook);
+
+            panic!(
+                "property `{name}` failed (case {case}/{total}, seed {seed})\n\
+                 replay: {env}={seed} cargo test {name}\n\
+                 original input: {value:?}\n\
+                 shrunk input ({steps} deletions/simplifications): {minimal:?}\n\
+                 failure: {last_msg}",
+                total = cfg.cases,
+                env = SEED_ENV,
+            );
+        }
+    }
+}
+
+/// Greedily minimise a failing value. Returns the minimal value, the
+/// failure message it produces, and how many shrink steps were accepted.
+fn shrink_failure<T, P>(prop: &P, mut value: T, mut msg: String, max_steps: u32) -> (T, String, u32)
+where
+    T: Clone + Shrink,
+    P: Fn(&T),
+{
+    let mut accepted = 0u32;
+    let mut budget = max_steps;
+    'outer: while budget > 0 {
+        for cand in value.shrink() {
+            budget = budget.saturating_sub(1);
+            if let Run::Fail(m) = run_once(prop, &cand) {
+                value = cand;
+                msg = m;
+                accepted += 1;
+                continue 'outer;
+            }
+            if budget == 0 {
+                break 'outer;
+            }
+        }
+        break; // no candidate still fails: locally minimal
+    }
+    (value, msg, accepted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_is_silent() {
+        check("tautology", Config::cases(50), |rng| rng.gen::<u64>(), |_| {});
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_shrinks() {
+        let err = panic::catch_unwind(|| {
+            check(
+                "finds_big_numbers",
+                Config::cases(200),
+                |rng| rng.gen_range(0..1000u64),
+                |&v| assert!(v < 10, "value {v} too big"),
+            );
+        })
+        .expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("finds_big_numbers"), "{msg}");
+        assert!(msg.contains("seed"), "{msg}");
+        assert!(msg.contains("shrunk input"), "{msg}");
+        // Halving from any failing value must reach the boundary region.
+        let shrunk: u64 = msg
+            .split("shrunk input")
+            .nth(1)
+            .and_then(|s| s.split(": ").nth(1))
+            .and_then(|s| s.split('\n').next())
+            .and_then(|s| s.trim().parse().ok())
+            .expect("parse shrunk value");
+        assert!((10..20).contains(&shrunk), "shrunk to {shrunk}, want [10,20)");
+    }
+
+    #[test]
+    fn vec_shrinking_deletes_irrelevant_elements() {
+        let err = panic::catch_unwind(|| {
+            check(
+                "vec_min",
+                Config::cases(100),
+                |rng| {
+                    let n = rng.gen_range(0..20usize);
+                    (0..n).map(|_| rng.gen_range(0..100u32)).collect::<Vec<u32>>()
+                },
+                |v| assert!(!v.contains(&77), "has 77"),
+            );
+        })
+        .expect_err("property must fail eventually");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        // Minimal counterexample is exactly [77].
+        assert!(msg.contains("shrunk input"), "{msg}");
+        let after = msg.split("shrunk input").nth(1).expect("report");
+        assert!(after.contains("[77]"), "not minimal: {msg}");
+    }
+
+    #[test]
+    fn deterministic_inputs_across_runs() {
+        let collect = || {
+            let mut seen = Vec::new();
+            check("collect", Config::cases(30), |rng| rng.gen::<u64>(), |&v| {
+                // Property never fails; we abuse it to observe inputs.
+                let _ = v;
+            });
+            // Re-derive the same seeds the harness used.
+            let name_key = "collect".bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+            });
+            for i in 0..30u64 {
+                let seed = SplitMix64::mix(Config::cases(30).base_seed ^ name_key, i);
+                seen.push(Rng::seed_from_u64(seed).gen::<u64>());
+            }
+            seen
+        };
+        assert_eq!(collect(), collect());
+    }
+}

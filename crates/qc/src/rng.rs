@@ -1,0 +1,302 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Two tiny, well-studied generators, implemented from their public-domain
+//! reference algorithms:
+//!
+//! * [`SplitMix64`] — a 64-bit mixing generator used for seeding and for
+//!   deriving independent per-case streams from a base seed;
+//! * [`Rng`] — xoshiro256++, the general-purpose generator every QC
+//!   facility in this workspace uses.
+//!
+//! The API mirrors the subset of the `rand` crate the workspace previously
+//! used (`seed_from_u64`, `gen`, `gen_range`, `gen_bool`), so call sites
+//! migrate mechanically — but the streams are fully specified here: the same
+//! seed produces the same values on every platform, toolchain, and run,
+//! which is what makes the oracle-fuzz corpus and the property suites
+//! replayable from a single `u64`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64: the seeding generator recommended by the xoshiro authors.
+/// Also useful on its own for deriving per-case seeds from `(base, index)`.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// One-shot mix of `(base, index)` into an independent stream seed.
+    #[must_use]
+    pub fn mix(base: u64, index: u64) -> u64 {
+        let mut s = SplitMix64::new(base ^ index.wrapping_mul(0xA076_1D64_78BD_642F));
+        s.next_u64()
+    }
+}
+
+/// xoshiro256++ — the workhorse generator.
+///
+/// 256 bits of state, equidistributed 64-bit outputs, fast enough that the
+/// generator never shows up in a profile. Seeded through [`SplitMix64`] so
+/// that even adjacent integer seeds give uncorrelated streams.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Deterministically seed from a single `u64` (the only seeding path —
+    /// there is intentionally no entropy-based constructor).
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = sm.next_u64();
+        }
+        // An all-zero state is the one fixed point; SplitMix64 cannot
+        // produce four consecutive zeros, but keep the guard explicit.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Rng { s }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.s = s;
+        result
+    }
+
+    /// Sample any [`Sample`] type uniformly (`rng.gen::<u64>()` style).
+    pub fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from an integer range (`lo..hi` or `lo..=hi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, matching `rand`.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// A biased coin: true with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        // 53-bit mantissa comparison, deterministic across platforms.
+        let x = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        x < p
+    }
+
+    /// Uniformly choose a slice element; `None` on an empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            let i = self.gen_range(0..items.len());
+            Some(&items[i])
+        }
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+}
+
+/// Types [`Rng::gen`] can sample uniformly.
+pub trait Sample {
+    /// Draw one value.
+    fn sample(rng: &mut Rng) -> Self;
+}
+
+macro_rules! sample_uint {
+    ($($t:ty),*) => {$(
+        impl Sample for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample(rng: &mut Rng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+sample_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! sample_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl Sample for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn sample(rng: &mut Rng) -> Self {
+                rng.next_u64() as $u as $t
+            }
+        }
+    )*};
+}
+sample_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl Sample for u128 {
+    fn sample(rng: &mut Rng) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Sample for i128 {
+    #[allow(clippy::cast_possible_wrap)]
+    fn sample(rng: &mut Rng) -> Self {
+        u128::sample(rng) as i128
+    }
+}
+
+impl Sample for bool {
+    fn sample(rng: &mut Rng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: Sample, const N: usize> Sample for [T; N] {
+    fn sample(rng: &mut Rng) -> Self {
+        std::array::from_fn(|_| T::sample(rng))
+    }
+}
+
+impl<A: Sample, B: Sample> Sample for (A, B) {
+    fn sample(rng: &mut Rng) -> Self {
+        (A::sample(rng), B::sample(rng))
+    }
+}
+
+impl<A: Sample, B: Sample, C: Sample> Sample for (A, B, C) {
+    fn sample(rng: &mut Rng) -> Self {
+        (A::sample(rng), B::sample(rng), C::sample(rng))
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw a value uniformly from this range.
+    fn sample_from(self, rng: &mut Rng) -> T;
+}
+
+macro_rules! range_impl {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn sample_from(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn sample_from(self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let v = (u128::from(rng.next_u64()) % span) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+range_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // State {1,2,3,4}: first outputs of xoshiro256++ per the reference
+        // implementation.
+        let mut rng = Rng { s: [1, 2, 3, 4] };
+        let got: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(got, vec![41943041, 58720359, 3588806011781223, 3591011842654386]);
+    }
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Seed 1234567: first outputs per the reference implementation.
+        let mut sm = SplitMix64::new(1234567);
+        assert_eq!(sm.next_u64(), 6457827717110365317);
+        assert_eq!(sm.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10..20u64);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-5..=5i32);
+            assert!((-5..=5).contains(&w));
+            let x = rng.gen_range(0..1usize);
+            assert_eq!(x, 0);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_extremes() {
+        let mut rng = Rng::seed_from_u64(9);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..200 {
+            match rng.gen_range(0..=3u8) {
+                0 => lo_seen = true,
+                3 => hi_seen = true,
+                _ => {}
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..32).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        assert_ne!(v, (0..32).collect::<Vec<_>>(), "shuffle left input unchanged");
+    }
+}

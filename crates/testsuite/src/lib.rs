@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod regressions;
 mod suite;
 
 use cheri_mem::Ub;

@@ -1,0 +1,91 @@
+//! Seed-pinned regressions from oracle-fuzz divergences.
+//!
+//! When the differential corpus (`tests/oracle_corpus.rs` /
+//! `cargo run -p cheri-bench --bin oracle_fuzz`) finds a divergence, it
+//! shrinks the program to a minimal reproducer and prints a ready-to-paste
+//! [`Regression`] entry. Pasting it into [`REGRESSIONS`] here makes the
+//! divergence a permanent, named test that runs under **every** compared
+//! profile on every `cargo test` — independent of the generator, so the
+//! reproducer survives any future change to `progen`.
+//!
+//! The module ships empty (the PR that introduced the corpus found no
+//! divergence across seeds 0..1024) but stays wired into the suite: the
+//! replay machinery itself is exercised by a self-test with a synthetic
+//! entry.
+
+use cheri_core::{run, Outcome, Profile};
+
+/// A pinned minimal program from a (former) oracle-fuzz divergence.
+#[derive(Clone, Copy, Debug)]
+pub struct Regression {
+    /// Stable name, conventionally `oracle-fuzz/seed-<seed>-<profile>`.
+    pub id: &'static str,
+    /// The generator seed the program was shrunk from (for archaeology;
+    /// replay does not depend on the generator still producing it).
+    pub seed: u64,
+    /// The minimal C reproducer.
+    pub source: &'static str,
+    /// `Some(code)`: every compared profile must exit with `code`.
+    /// `None`: the program is from the bug-injected family — every profile
+    /// must safety-stop or mask, and none may report an internal error.
+    pub expected_exit: Option<i64>,
+}
+
+/// All pinned regressions. Append entries exactly as printed by the
+/// divergence report.
+pub const REGRESSIONS: &[Regression] = &[
+    // (none yet — seeds 0..1024 were divergence-free when the corpus landed)
+];
+
+/// Replay one regression under every compared profile; returns the failures
+/// as `(profile, outcome)` descriptions.
+#[must_use]
+pub fn replay(r: &Regression) -> Vec<(String, String)> {
+    let mut bad = Vec::new();
+    for p in Profile::all_compared() {
+        let outcome = run(r.source, &p).outcome;
+        let ok = match r.expected_exit {
+            Some(code) => outcome == Outcome::Exit(code),
+            None => !matches!(outcome, Outcome::Error(_)),
+        };
+        if !ok {
+            bad.push((p.name.clone(), outcome.to_string()));
+        }
+    }
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every pinned regression stays fixed under every compared profile.
+    #[test]
+    fn pinned_regressions_hold() {
+        for r in REGRESSIONS {
+            let bad = replay(r);
+            assert!(bad.is_empty(), "{} regressed: {bad:?}", r.id);
+        }
+    }
+
+    /// The replay machinery itself works: a synthetic entry in the same
+    /// shape as a shrunk divergence report passes, and a deliberately wrong
+    /// expectation is caught.
+    #[test]
+    fn replay_machinery_detects_mismatches() {
+        let entry = Regression {
+            id: "oracle-fuzz/self-test",
+            seed: 0,
+            source: "int main(void) {\n  int a0[2];\n  for (int i = 0; i < 2; i++) a0[i] = 0;\n  long s = 0;\n  s += a0[0];\n  return (int)(s < 0 ? (-s) % 97 : s % 97);\n}\n",
+            expected_exit: Some(0),
+        };
+        assert!(replay(&entry).is_empty(), "well-formed entry must replay clean");
+
+        let wrong = Regression { expected_exit: Some(41), ..entry };
+        assert_eq!(
+            replay(&wrong).len(),
+            Profile::all_compared().len(),
+            "a wrong expectation must fail under every profile"
+        );
+    }
+}

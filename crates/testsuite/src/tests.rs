@@ -28,6 +28,38 @@ fn table1_counts_match_the_paper() {
     assert_eq!(tests.len(), 94, "the paper's suite has 94 tests");
 }
 
+/// §5 shape invariants, independent of the exact Table 1 row values:
+/// exactly 94 tests, exactly 34 distinct categories, and — because tests
+/// cover several categories — per-category counts summing to strictly
+/// more than 94.
+#[test]
+fn suite_shape_matches_section_5() {
+    let tests = all_tests();
+    assert_eq!(tests.len(), 94, "the paper's suite has 94 tests");
+
+    let mut per_cat: BTreeMap<Category, usize> = BTreeMap::new();
+    for t in &tests {
+        for c in t.cats {
+            *per_cat.entry(*c).or_default() += 1;
+        }
+    }
+    assert_eq!(
+        per_cat.len(),
+        34,
+        "Table 1 has 34 semantic categories; suite tags {} distinct ones",
+        per_cat.len()
+    );
+    assert_eq!(Category::TABLE1.len(), 34, "Table 1 itself has 34 rows");
+    for (cat, n) in &per_cat {
+        assert!(*n > 0, "{cat:?} has no tests");
+    }
+    let total: usize = per_cat.values().sum();
+    assert!(
+        total > 94,
+        "tests cover several categories, so tags ({total}) must exceed 94"
+    );
+}
+
 #[test]
 fn test_ids_unique_and_tagged() {
     let tests = all_tests();

@@ -12,7 +12,8 @@
 //!    same result as a Rust oracle.
 
 use cheri_c::core::{run, Outcome, Profile};
-use proptest::prelude::*;
+use cheri_qc::prop::{check, Config, Shrink};
+use cheri_qc::Rng;
 
 /// Property 1 + 2 checked across the whole validation suite.
 #[test]
@@ -92,14 +93,34 @@ struct ArrayProgram {
     reads: Vec<usize>,
 }
 
-fn arb_program() -> impl Strategy<Value = ArrayProgram> {
-    (2usize..16).prop_flat_map(|size| {
-        (
-            prop::collection::vec((0..size, -1000i32..1000), 1..20),
-            prop::collection::vec(0..size, 1..10),
-        )
-            .prop_map(move |(writes, reads)| ArrayProgram { size, writes, reads })
-    })
+fn arb_program(rng: &mut Rng) -> ArrayProgram {
+    let size = rng.gen_range(2usize..16);
+    let writes = (0..rng.gen_range(1usize..20))
+        .map(|_| (rng.gen_range(0..size), rng.gen_range(-1000i32..1000)))
+        .collect();
+    let reads = (0..rng.gen_range(1usize..10))
+        .map(|_| rng.gen_range(0..size))
+        .collect();
+    ArrayProgram { size, writes, reads }
+}
+
+impl Shrink for ArrayProgram {
+    fn shrink(&self) -> Vec<Self> {
+        // Delete writes and reads one at a time (indices stay < size, so
+        // every candidate is still a well-defined program).
+        let mut out = Vec::new();
+        for i in 0..self.writes.len() {
+            let mut s = self.clone();
+            s.writes.remove(i);
+            out.push(s);
+        }
+        for i in 0..self.reads.len() {
+            let mut s = self.clone();
+            s.reads.remove(i);
+            out.push(s);
+        }
+        out
+    }
 }
 
 impl ArrayProgram {
@@ -130,25 +151,32 @@ impl ArrayProgram {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Random well-defined programs agree with the oracle on every profile.
-    #[test]
-    fn random_programs_match_oracle(prog in arb_program()) {
+/// Random well-defined programs agree with the oracle on every profile.
+#[test]
+fn random_programs_match_oracle() {
+    check("random_programs_match_oracle", Config::cases(128), arb_program, |prog| {
         let src = prog.to_c();
         let expected = Outcome::Exit(prog.oracle());
         for p in [Profile::cerberus(), Profile::gcc_morello(true), Profile::iso_baseline()] {
             let r = run(&src, &p);
-            prop_assert_eq!(&r.outcome, &expected, "{} under {}\n{}", r.outcome, p.name, src);
+            assert_eq!(r.outcome, expected, "{} under {}\n{}", r.outcome, p.name, src);
         }
-    }
+    });
+}
 
-    /// Random in-bounds uintptr_t round trips always work and out-of-bounds
-    /// indices always stop (no silent corruption), under the reference.
-    #[test]
-    fn uintptr_roundtrip_random_offsets(size in 1usize..32, idx in 0usize..64) {
-        let src = format!(r#"
+/// Random in-bounds uintptr_t round trips always work and out-of-bounds
+/// indices always stop (no silent corruption), under the reference.
+#[test]
+fn uintptr_roundtrip_random_offsets() {
+    check(
+        "uintptr_roundtrip_random_offsets",
+        Config::cases(128),
+        |rng| (rng.gen_range(1usize..32), rng.gen_range(0usize..64)),
+        |&(size, idx)| {
+            // Shrinking can drive `size` to 0; the smallest valid array is 1.
+            let size = size.max(1);
+            let src = format!(
+                r#"
             #include <stdint.h>
             int main(void) {{
               int a[{size}];
@@ -156,12 +184,14 @@ proptest! {
               uintptr_t u = (uintptr_t)a + {idx} * sizeof(int);
               int *p = (int*)u;
               return *p;
-            }}"#);
-        let r = run(&src, &Profile::cerberus());
-        if idx < size {
-            prop_assert_eq!(&r.outcome, &Outcome::Exit(idx as i64 + 1));
-        } else {
-            prop_assert!(r.outcome.is_safety_stop(), "idx {} size {}: {}", idx, size, r.outcome);
-        }
-    }
+            }}"#
+            );
+            let r = run(&src, &Profile::cerberus());
+            if idx < size {
+                assert_eq!(r.outcome, Outcome::Exit(idx as i64 + 1));
+            } else {
+                assert!(r.outcome.is_safety_stop(), "idx {idx} size {size}: {}", r.outcome);
+            }
+        },
+    );
 }

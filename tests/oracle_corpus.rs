@@ -1,0 +1,127 @@
+//! The deterministic differential oracle-fuzz corpus, run on every
+//! `cargo test -q` (§7 of the paper as a CI property).
+//!
+//! A fixed block of generator seeds is run through every compared
+//! implementation profile. The reference semantics' generated-at-emit-time
+//! oracle decides the expected outcome; any disagreement is shrunk by
+//! statement deletion to a minimal reproducing program and reported with a
+//! ready-to-paste regression entry.
+//!
+//! * Extend the range: `CHERI_QC_CORPUS_SEEDS=512 cargo test corpus` (the
+//!   CI workflow runs the `oracle_fuzz` binary over a larger range).
+//! * Replay one seed: `cargo run -p cheri-bench --bin oracle_fuzz -- 1 <seed>`.
+
+use cheri_bench::corpus::{render_divergence, render_stats, run_corpus, CorpusStats};
+use cheri_c::core::{run, Outcome, Profile};
+use cheri_mem::AddressLayout;
+
+/// Seeds checked on every `cargo test` (both program families each).
+const CORPUS_SEEDS: u64 = 64;
+
+fn corpus_len() -> u64 {
+    std::env::var("CHERI_QC_CORPUS_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(CORPUS_SEEDS)
+}
+
+/// The headline check: the fixed corpus is divergence-free across all
+/// compared configurations, and every injected bug is either caught or
+/// (for the few the hardware profiles can't see) harmlessly masked.
+#[test]
+fn differential_corpus_is_clean() {
+    let profiles = Profile::all_compared();
+    let n = corpus_len();
+    let (stats, divergences) = run_corpus(0, n, &profiles);
+    let reports: Vec<String> = divergences.iter().map(render_divergence).collect();
+    assert!(
+        divergences.is_empty(),
+        "oracle-fuzz corpus diverged:\n{}",
+        reports.join("\n")
+    );
+    assert_eq!(stats.defined, n);
+    assert_eq!(stats.buggy, n);
+    assert_eq!(
+        stats.agreed,
+        n * profiles.len() as u64,
+        "every well-defined run must match the oracle: {}",
+        render_stats(&stats, profiles.len(), divergences.len())
+    );
+    // Injected bugs: every configuration-run either stops or masks; the
+    // reference semantics itself must stop on the vast majority.
+    assert_eq!(stats.stopped + stats.masked, n * profiles.len() as u64);
+    assert!(
+        stats.stopped >= stats.masked * 4,
+        "suspiciously many masked bugs: {}",
+        render_stats(&stats, profiles.len(), divergences.len())
+    );
+}
+
+/// Two consecutive corpus runs are bit-identical: generation has no
+/// entropy, wall-clock, or platform input.
+#[test]
+fn corpus_is_deterministic_across_runs() {
+    let profiles = Profile::all_compared();
+    let (s1, d1): (CorpusStats, _) = run_corpus(0, 8, &profiles);
+    let (s2, d2) = run_corpus(0, 8, &profiles);
+    assert_eq!(s1, s2);
+    assert_eq!(d1.len(), d2.len());
+}
+
+/// Demonstrate the shrinker end to end: mis-set a profile (stack region too
+/// small to hold any array) and check the corpus flags the divergence and
+/// minimises the reproducer — this is the workflow a real semantics bug
+/// would go through.
+#[test]
+fn forced_divergence_yields_shrunk_minimal_report() {
+    let mut broken = Profile::clang_morello(false);
+    broken.name = "clang-morello-O0-tiny-stack".into();
+    broken.mem.layout = AddressLayout {
+        stack_base: 0x1040,
+        stack_limit: 0x1000,
+        ..AddressLayout::clang_morello()
+    };
+
+    let (_, divergences) = run_corpus(0, 2, &[broken.clone()]);
+    assert!(
+        !divergences.is_empty(),
+        "a profile whose allocator cannot satisfy any array must diverge"
+    );
+    let d = &divergences[0];
+
+    // Shrinking must have made progress: statements go to zero (the
+    // divergence lives in the array declarations themselves).
+    assert!(
+        d.minimal.stmts.len() < d.original_stmts,
+        "no shrinking happened: {} -> {}",
+        d.original_stmts,
+        d.minimal.stmts.len()
+    );
+
+    // The minimal program still reproduces under the broken profile...
+    let r = run(&d.minimal.source(), &broken);
+    match d.minimal.oracle_exit() {
+        Some(code) => assert_ne!(r.outcome, Outcome::Exit(code), "reproducer lost the divergence"),
+        None => assert!(matches!(r.outcome, Outcome::Error(_))),
+    }
+    // ...and is clean under the healthy profile it was derived from.
+    if let Some(code) = d.minimal.oracle_exit() {
+        let healthy = run(&d.minimal.source(), &Profile::clang_morello(false));
+        assert_eq!(healthy.outcome, Outcome::Exit(code));
+    }
+
+    // The report is complete: seed, both outcomes, minimal source, and the
+    // paste-ready regression entry.
+    let report = render_divergence(d);
+    for needle in [
+        "DIVERGENCE seed=",
+        "oracle expected",
+        "profile produced",
+        "minimal reproducer",
+        "int main(void)",
+        "ready-to-paste",
+        "Regression {",
+    ] {
+        assert!(report.contains(needle), "report missing `{needle}`:\n{report}");
+    }
+}
