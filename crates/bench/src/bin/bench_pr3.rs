@@ -1,0 +1,244 @@
+//! `bench_pr3` — flat-buffer store vs legacy `BTreeMap` store.
+//!
+//! Measures the PR 3 storage rewrite: per-allocation `Vec<AbsByte>` buffers
+//! plus packed capability-slot bitsets behind a sorted interval index,
+//! against the legacy global per-byte dictionary kept behind
+//! `MemConfig::legacy_store`. Both paths run in the *same* process and the
+//! comparison is written to `BENCH_pr3.json` (path = first CLI argument,
+//! default `./BENCH_pr3.json`).
+//!
+//! Workloads:
+//!
+//! * `scalar_store_load` — the `memory_model` bench workload (`MEM_OPS`
+//!   4-byte stores then loads), reference and hardware profiles;
+//! * `memcpy` — capability-preserving 4 KiB copies;
+//! * `revocation_sweep` — CHERI hardware profile with revocation on free:
+//!   32 heap regions full of cross-pointers, all freed (each free sweeps
+//!   memory for overlapping capabilities);
+//! * `interp_end_to_end` — a whole C program (malloc churn + array sums)
+//!   through parse → typecheck → interpret under the cerberus profile.
+//!
+//! Exit status is non-zero if the flat store is *slower* than the legacy
+//! store on the scalar load/store microbenchmark — the CI perf-smoke gate.
+//! `CHERI_QC_BENCH_FAST=1` shrinks samples for CI.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+
+use cheri_bench::MEM_OPS;
+use cheri_core::{Outcome, Profile};
+use cheri_mem::{AddressLayout, CheriMemory, IntVal, MemConfig, MemStats};
+use cheri_qc::bench::{black_box, Bench, Stats};
+
+type Mem = CheriMemory<cheri_core::MorelloCap>;
+
+fn with_store(mut cfg: MemConfig, legacy: bool) -> MemConfig {
+    cfg.legacy_store = legacy;
+    cfg
+}
+
+/// The `memory_model` scalar workload: MEM_OPS 4-byte stores, then loads.
+fn store_load_workload(cfg: MemConfig) -> i128 {
+    let mut mem = Mem::new(cfg);
+    let arr = mem
+        .allocate_object("arr", 4 * MEM_OPS as u64, 4, false, None)
+        .expect("allocate");
+    let mut acc = 0i128;
+    for i in 0..MEM_OPS {
+        let p = mem.array_shift(&arr, 4, i as i64).expect("shift");
+        mem.store_int(&p, 4, &IntVal::Num(i as i128)).expect("store");
+    }
+    for i in 0..MEM_OPS {
+        let p = mem.array_shift(&arr, 4, i as i64).expect("shift");
+        acc += mem.load_int(&p, 4, true, false).expect("load").value();
+    }
+    mem.kill(&arr, false).expect("kill");
+    acc
+}
+
+/// Capability-preserving 4 KiB memcpy between two heap buffers.
+fn memcpy_workload(cfg: MemConfig) -> i128 {
+    let n = MEM_OPS as u64;
+    let mut mem = Mem::new(cfg);
+    let src = mem.allocate_region(n, 16).expect("src");
+    let dst = mem.allocate_region(n, 16).expect("dst");
+    mem.memset(&src, 0xA5, n).expect("memset");
+    for _ in 0..8 {
+        mem.memcpy(&dst, &src, n).expect("memcpy");
+        mem.memcpy(&src, &dst, n).expect("memcpy back");
+    }
+    mem.load_int(&dst, 4, false, false).expect("readback").value()
+}
+
+/// Revocation churn: 32 heap regions full of capabilities to each other,
+/// then freed one by one — every free sweeps memory for overlapping
+/// capabilities (§7 temporal-safety extension).
+fn revocation_workload(cfg: MemConfig) -> u64 {
+    let mut mem = Mem::new(cfg);
+    let regions: Vec<_> = (0..32)
+        .map(|_| mem.allocate_region(256, 16).expect("region"))
+        .collect();
+    for (i, r) in regions.iter().enumerate() {
+        for j in 0..16i64 {
+            let p = mem.array_shift(r, 16, j).expect("shift");
+            let target = &regions[(i + j as usize) % regions.len()];
+            mem.store_ptr(&p, target).expect("store cap");
+        }
+    }
+    for r in &regions {
+        mem.kill(r, true).expect("free");
+    }
+    mem.stats.revoked_caps
+}
+
+const CHURN_PROGRAM: &str = r#"
+int main(void) {
+  int acc = 0;
+  for (int i = 0; i < 40; i++) {
+    int *p = malloc(64 * sizeof(int));
+    for (int j = 0; j < 64; j++) p[j] = j;
+    for (int j = 0; j < 64; j++) acc += p[j];
+    free(p);
+  }
+  return acc == 40 * 2016 ? 0 : 1;
+}"#;
+
+/// Whole-pipeline run under the cerberus profile; returns the memory-model
+/// counters so the JSON records the workload size.
+fn interp_workload(legacy: bool) -> MemStats {
+    let mut profile = Profile::cerberus();
+    profile.mem.legacy_store = legacy;
+    let r = cheri_core::run(CHURN_PROGRAM, &profile);
+    assert!(
+        matches!(r.outcome, Outcome::Exit(0)),
+        "end-to-end workload must be well-defined: {:?}",
+        r.outcome
+    );
+    r.mem_stats
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr3.json".into());
+    let fast = std::env::var("CHERI_QC_BENCH_FAST").is_ok();
+    let mut c = Bench::new();
+
+    for (store, legacy) in [("legacy", true), ("flat", false)] {
+        let reference = with_store(MemConfig::cheri_reference(), legacy);
+        c.bench_function(format!("scalar_store_load/cheri_reference/{store}"), |b| {
+            b.iter(|| black_box(store_load_workload(reference)));
+        });
+        let hardware = with_store(
+            MemConfig::cheri_hardware(AddressLayout::clang_morello()),
+            legacy,
+        );
+        c.bench_function(format!("scalar_store_load/cheri_hardware/{store}"), |b| {
+            b.iter(|| black_box(store_load_workload(hardware)));
+        });
+        c.bench_function(format!("memcpy_4k/cheri_reference/{store}"), |b| {
+            b.iter(|| black_box(memcpy_workload(reference)));
+        });
+        let mut revoking = with_store(
+            MemConfig::cheri_hardware(AddressLayout::clang_morello()),
+            legacy,
+        );
+        revoking.revocation = true;
+        c.bench_function(format!("revocation_sweep/cheri_hardware/{store}"), |b| {
+            b.iter(|| black_box(revocation_workload(revoking)));
+        });
+        c.bench_function(format!("interp_end_to_end/cerberus/{store}"), |b| {
+            b.iter(|| black_box(interp_workload(legacy)));
+        });
+    }
+
+    // Sanity checks shared by both stores: the sweep really revokes, and
+    // the stats plumbing reports the run's operation counts.
+    let revoked = {
+        let mut cfg = MemConfig::cheri_hardware(AddressLayout::clang_morello());
+        cfg.revocation = true;
+        revocation_workload(cfg)
+    };
+    assert!(revoked > 0, "revocation workload must clear tags");
+    let stats = interp_workload(false);
+    assert!(stats.loads > 0 && stats.stores > 0 && stats.allocations > 0);
+
+    let results: Vec<Stats> = c.results().to_vec();
+    let median = |id: &str| {
+        results
+            .iter()
+            .find(|s| s.id == id)
+            .map(|s| s.median)
+            .expect("benchmark ran")
+    };
+
+    let bases = [
+        "scalar_store_load/cheri_reference",
+        "scalar_store_load/cheri_hardware",
+        "memcpy_4k/cheri_reference",
+        "revocation_sweep/cheri_hardware",
+        "interp_end_to_end/cerberus",
+    ];
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"BENCH_pr3\",");
+    let _ = writeln!(json, "  \"mem_ops\": {MEM_OPS},");
+    let _ = writeln!(json, "  \"fast_mode\": {fast},");
+    let _ = writeln!(
+        json,
+        "  \"interp_workload_stats\": {{\"loads\": {}, \"stores\": {}, \"allocations\": {}}},",
+        stats.loads, stats.stores, stats.allocations
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, s) in results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"iters_per_sample\": {}}}{}",
+            json_escape(&s.id),
+            s.median,
+            s.mean,
+            s.min,
+            s.iters_per_sample,
+            if i + 1 == results.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"speedup_flat_over_legacy\": {\n");
+    for (i, base) in bases.iter().enumerate() {
+        let speedup = median(&format!("{base}/legacy")) / median(&format!("{base}/flat"));
+        let _ = writeln!(
+            json,
+            "    \"{base}\": {speedup:.2}{}",
+            if i + 1 == bases.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  },\n");
+
+    let gate_base = "scalar_store_load/cheri_reference";
+    let legacy_ns = median(&format!("{gate_base}/legacy"));
+    let flat_ns = median(&format!("{gate_base}/flat"));
+    let pass = flat_ns <= legacy_ns;
+    let _ = writeln!(
+        json,
+        "  \"gate\": {{\"bench\": \"{gate_base}\", \"legacy_median_ns\": {legacy_ns:.1}, \"flat_median_ns\": {flat_ns:.1}, \"speedup\": {:.2}, \"pass\": {pass}}}",
+        legacy_ns / flat_ns
+    );
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_pr3.json");
+    println!("\nwrote {out_path}");
+    println!(
+        "gate {gate_base}: legacy {legacy_ns:.0} ns/iter, flat {flat_ns:.0} ns/iter, speedup {:.2}x — {}",
+        legacy_ns / flat_ns,
+        if pass { "PASS" } else { "FAIL" }
+    );
+    if !pass {
+        std::process::exit(1);
+    }
+}

@@ -187,6 +187,7 @@ impl<'p, C: Capability> Interp<'p, C> {
                 stdout: self.stdout,
                 stderr: self.stderr,
                 unspecified_reads: self.unspecified_reads,
+                mem_stats: self.mem.stats,
             },
             trace,
         )

@@ -94,6 +94,7 @@ pub fn run_with<C: Capability>(src: &str, profile: &Profile) -> RunResult {
             stdout: String::new(),
             stderr: String::new(),
             unspecified_reads: 0,
+            mem_stats: cheri_mem::MemStats::default(),
         },
     }
 }

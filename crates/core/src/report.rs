@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use cheri_mem::{MemError, TrapKind, Ub};
+use cheri_mem::{MemError, MemStats, TrapKind, Ub};
 
 /// How a program run ended.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -95,6 +95,10 @@ pub struct RunResult {
     /// Number of reads of unspecified values that were concretised (each is
     /// a place where the semantics allows any value).
     pub unspecified_reads: u32,
+    /// Memory-model operation counters for the run (loads, stores,
+    /// allocations, padding, revoked capabilities) — the benchmark and
+    /// experiment harnesses read these instead of re-instrumenting.
+    pub mem_stats: MemStats,
 }
 
 impl RunResult {

@@ -53,6 +53,16 @@ impl AbsByte {
     pub fn is_init(&self) -> bool {
         self.value.is_some()
     }
+
+    /// The concrete value a *hardware* read observes: real memory has no
+    /// "uninitialised" state, so abstract-machine-uninitialised bytes read
+    /// back as the deterministic stale value 0 (our emulated RAM is
+    /// zero-filled and never reused). Used by the hardware-emulation
+    /// profiles (`memcmp`, the revocation sweep's capability decode).
+    #[must_use]
+    pub fn concrete(&self) -> u8 {
+        self.value.unwrap_or(0)
+    }
 }
 
 /// Recover the provenance of a pointer reassembled from `bytes`, PNVI-style:

@@ -5,6 +5,8 @@
 //! *exposed* by having a pointer to it cast to an integer or its
 //! representation examined (PNVI-*ae*, §2.3).
 
+use crate::absbyte::AbsByte;
+use crate::capmeta::CapSlotBits;
 use crate::AllocId;
 
 /// How an allocation was created.
@@ -56,6 +58,18 @@ pub struct Allocation {
     pub readonly: bool,
     /// Diagnostic name (variable name or `"malloc"`).
     pub prefix: String,
+    /// Flat-store byte contents: one [`AbsByte`] per *reserved* byte, so the
+    /// hardware-emulation profiles can read stale/padding bytes the same way
+    /// the legacy global byte dictionary allowed. Empty when the instance
+    /// runs with [`MemConfig::legacy_store`](crate::MemConfig).
+    pub(crate) buf: Vec<AbsByte>,
+    /// Flat-store capability-slot metadata: one packed entry per
+    /// capability-aligned slot whose footprint lies inside the reserved
+    /// footprint (slot `k` is at address `first_slot + k * cap_bytes`).
+    pub(crate) slots: CapSlotBits,
+    /// Address of slot 0 of `slots`: the first capability-aligned address at
+    /// or above `base`.
+    pub(crate) first_slot: u64,
 }
 
 impl Allocation {
@@ -83,6 +97,36 @@ impl Allocation {
     pub fn writable(&self) -> bool {
         !self.readonly && !self.kind.inherently_readonly()
     }
+
+    /// One-past-the-end address of the *reserved* footprint (requested size
+    /// plus representability padding).
+    #[must_use]
+    pub fn reserved_end(&self) -> u64 {
+        self.base.wrapping_add(self.reserved_size)
+    }
+
+    /// Flat store: slot index of the capability-aligned address `addr`, if
+    /// the `cap_bytes`-sized footprint at `addr` lies inside the reserved
+    /// footprint.
+    pub(crate) fn slot_index(&self, addr: u64, cap_bytes: u64) -> Option<usize> {
+        if addr < self.first_slot || !addr.is_multiple_of(cap_bytes) {
+            return None;
+        }
+        let k = ((addr - self.first_slot) / cap_bytes) as usize;
+        (k < self.slots.len()).then_some(k)
+    }
+
+    /// Flat store: number of capability-aligned slots fully contained in
+    /// `[first_slot, base + reserved)`, given `first_slot` is the first
+    /// aligned address `>= base`.
+    pub(crate) fn slot_count(base: u64, reserved: u64, first_slot: u64, cap_bytes: u64) -> usize {
+        let end = base.wrapping_add(reserved);
+        if end < first_slot.wrapping_add(cap_bytes) {
+            0
+        } else {
+            ((end - first_slot) / cap_bytes) as usize
+        }
+    }
 }
 
 #[cfg(test)]
@@ -101,6 +145,9 @@ mod tests {
             exposed: false,
             readonly: false,
             prefix: "x".into(),
+            buf: Vec::new(),
+            slots: CapSlotBits::default(),
+            first_slot: base,
         }
     }
 
@@ -127,5 +174,22 @@ mod tests {
         let mut a = alloc(0x4000, 1);
         a.kind = AllocKind::Function;
         assert!(!a.writable());
+    }
+
+    #[test]
+    fn flat_store_slot_indexing() {
+        // base 0x1004, reserved 0x40: first 16-aligned slot is 0x1010 and
+        // only slots whose full footprint fits in [0x1004, 0x1044) count.
+        assert_eq!(Allocation::slot_count(0x1004, 0x40, 0x1010, 16), 3);
+        let mut a = alloc(0x1004, 0x40);
+        a.first_slot = 0x1010;
+        a.slots = CapSlotBits::new(3);
+        assert_eq!(a.slot_index(0x1010, 16), Some(0));
+        assert_eq!(a.slot_index(0x1030, 16), Some(2));
+        assert_eq!(a.slot_index(0x1040, 16), None, "footprint crosses the end");
+        assert_eq!(a.slot_index(0x1008, 16), None, "misaligned");
+        assert_eq!(a.slot_index(0x1000, 16), None, "below base");
+        // Allocation entirely below the next alignment boundary: no slots.
+        assert_eq!(Allocation::slot_count(0x1004, 8, 0x1010, 16), 0);
     }
 }

@@ -34,6 +34,109 @@ pub struct SlotMeta {
     pub ghost: GhostState,
 }
 
+/// Packed per-allocation capability-slot metadata: the flat-store rendering
+/// of the `C` dictionary for the slots inside one allocation.
+///
+/// Each capability-aligned slot needs three bits — the stored tag and the
+/// two ghost bits — so slots are packed four bits wide into `u64` words
+/// (16 slots per word). Absent metadata reads as untagged-and-clean, exactly
+/// like an absent key in the legacy global [`CapMeta`] dictionary.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CapSlotBits {
+    n: usize,
+    words: Vec<u64>,
+}
+
+/// Bit layout of one 4-bit slot entry in [`CapSlotBits`].
+const BIT_TAG: u64 = 0b0001;
+const BIT_TAG_UNSPEC: u64 = 0b0010;
+const BIT_BOUNDS_UNSPEC: u64 = 0b0100;
+/// `BIT_TAG` replicated into every 4-bit lane of a word, for popcounts.
+const TAG_LANES: u64 = 0x1111_1111_1111_1111;
+
+impl CapSlotBits {
+    /// A bitset for `n` capability slots, all untagged-and-clean.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        CapSlotBits {
+            n,
+            words: vec![0; n.div_ceil(16)],
+        }
+    }
+
+    /// Number of slots tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Does this bitset track zero slots?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Metadata for slot `i` (out-of-range reads as untagged-and-clean).
+    #[must_use]
+    pub fn get(&self, i: usize) -> SlotMeta {
+        if i >= self.n {
+            return SlotMeta::default();
+        }
+        let nib = (self.words[i / 16] >> ((i % 16) * 4)) & 0xF;
+        SlotMeta {
+            tag: nib & BIT_TAG != 0,
+            ghost: GhostState {
+                tag_unspecified: nib & BIT_TAG_UNSPEC != 0,
+                bounds_unspecified: nib & BIT_BOUNDS_UNSPEC != 0,
+            },
+        }
+    }
+
+    /// Record metadata for slot `i` (out-of-range writes are ignored).
+    pub fn set(&mut self, i: usize, meta: SlotMeta) {
+        if i >= self.n {
+            return;
+        }
+        let mut nib = 0u64;
+        if meta.tag {
+            nib |= BIT_TAG;
+        }
+        if meta.ghost.tag_unspecified {
+            nib |= BIT_TAG_UNSPEC;
+        }
+        if meta.ghost.bounds_unspecified {
+            nib |= BIT_BOUNDS_UNSPEC;
+        }
+        let shift = (i % 16) * 4;
+        let w = &mut self.words[i / 16];
+        *w = (*w & !(0xF << shift)) | (nib << shift);
+    }
+
+    /// Reset every slot to untagged-and-clean.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of tagged slots, by popcount over the tag lanes.
+    #[must_use]
+    pub fn tagged_count(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| (w & TAG_LANES).count_ones() as usize)
+            .sum()
+    }
+
+    /// Indices of every tagged slot, in ascending order.
+    pub fn tagged_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, w)| {
+            let w = w & TAG_LANES;
+            (0..16)
+                .filter(move |lane| w >> (lane * 4) & 1 != 0)
+                .map(move |lane| wi * 16 + lane)
+        })
+    }
+}
+
 /// The capability-metadata dictionary, keyed by capability-aligned address.
 #[derive(Clone, Debug, Default)]
 pub struct CapMeta {
@@ -118,6 +221,22 @@ impl CapMeta {
     pub fn tagged_count(&self) -> usize {
         self.slots.values().filter(|m| m.tag).count()
     }
+
+    /// Is the dictionary empty (no slot carries any metadata)?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Addresses of every tagged slot, in ascending order.
+    #[must_use]
+    pub fn tagged_addrs(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .filter(|(_, m)| m.tag)
+            .map(|(a, _)| *a)
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -187,5 +306,55 @@ mod tests {
         m.set(0x1010, tagged());
         m.clear_range(0x1000, 0x1010);
         assert_eq!(m.tagged_count(), 1);
+    }
+
+    #[test]
+    fn slot_bits_roundtrip_all_combinations() {
+        let mut b = CapSlotBits::new(40);
+        assert_eq!(b.len(), 40);
+        assert!(!b.is_empty());
+        for i in 0..40 {
+            let meta = SlotMeta {
+                tag: i % 2 == 0,
+                ghost: GhostState {
+                    tag_unspecified: i % 3 == 0,
+                    bounds_unspecified: i % 5 == 0,
+                },
+            };
+            b.set(i, meta);
+            assert_eq!(b.get(i), meta, "slot {i}");
+        }
+        // Neighbours are untouched by a rewrite.
+        b.set(17, tagged());
+        assert!(b.get(16).tag);
+        assert!(b.get(18).tag);
+        assert_eq!(
+            b.tagged_count(),
+            (0..40).filter(|i| i % 2 == 0).count() + 1
+        );
+    }
+
+    #[test]
+    fn slot_bits_tagged_indices_and_clear() {
+        let mut b = CapSlotBits::new(33);
+        for i in [0usize, 15, 16, 31, 32] {
+            b.set(i, tagged());
+        }
+        assert_eq!(b.tagged_indices().collect::<Vec<_>>(), vec![0, 15, 16, 31, 32]);
+        assert_eq!(b.tagged_count(), 5);
+        b.clear_all();
+        assert_eq!(b.tagged_count(), 0);
+        assert_eq!(b.get(15), SlotMeta::default());
+    }
+
+    #[test]
+    fn slot_bits_out_of_range_is_inert() {
+        let mut b = CapSlotBits::new(2);
+        b.set(7, tagged()); // ignored
+        assert_eq!(b.tagged_count(), 0);
+        assert_eq!(b.get(7), SlotMeta::default());
+        let empty = CapSlotBits::new(0);
+        assert!(empty.is_empty());
+        assert_eq!(empty.tagged_count(), 0);
     }
 }

@@ -1,11 +1,17 @@
 //! The CHERI C memory object model (§4.3 of the paper).
 //!
 //! The state is the paper's `mem_state ≜ A × S × M` with `M ≜ B × C`:
-//! allocations, PNVI-ae-udi provenance bookkeeping, an address-indexed
-//! dictionary of [`AbsByte`]s, and the capability-metadata dictionary
-//! [`CapMeta`]. All operations are methods on [`CheriMemory`] returning
-//! [`MemResult`] — the Rust rendering of the paper's `memM` state-and-error
-//! monad.
+//! allocations, PNVI-ae-udi provenance bookkeeping, the byte store `B` of
+//! [`AbsByte`]s, and the capability-metadata dictionary `C`. All operations
+//! are methods on [`CheriMemory`] returning [`MemResult`] — the Rust
+//! rendering of the paper's `memM` state-and-error monad.
+//!
+//! `B` and `C` have two observably-identical renderings, selected by
+//! [`MemConfig::legacy_store`]: the original global per-byte/per-slot
+//! `BTreeMap` dictionaries, and the default *flat store* — one contiguous
+//! `Vec<AbsByte>` buffer plus a packed capability-slot bitset per
+//! allocation, addressed through a sorted interval index over the pairwise
+//! disjoint reserved footprints.
 //!
 //! The same type also serves as the *baseline* ISO C PNVI-ae-udi concrete
 //! model (§2.3) when constructed with `capabilities = false`, and as the
@@ -48,9 +54,15 @@ pub struct MemConfig {
     /// Capability revocation on free (§5.4/§7: CHERIoT-style temporal
     /// safety / Cornucopia): ending a heap allocation's lifetime sweeps
     /// memory and clears the tag of every stored capability whose bounds
-    /// lie within the freed region, so even the hardware-only profiles
+    /// overlap the freed region, so even the hardware-only profiles
     /// catch use-after-free through reloaded pointers.
     pub revocation: bool,
+    /// Use the legacy storage layout: one global `BTreeMap<u64, AbsByte>`
+    /// byte dictionary plus a global [`CapMeta`] slot dictionary, instead of
+    /// the per-allocation flat buffers and slot bitsets. Kept for one
+    /// release as a differential referee and benchmark baseline; the two
+    /// layouts are observably identical (same outcomes, traces, and stats).
+    pub legacy_store: bool,
 }
 
 impl MemConfig {
@@ -64,6 +76,7 @@ impl MemConfig {
             layout: AddressLayout::cerberus(),
             pad_for_representability: true,
             revocation: false,
+            legacy_store: false,
         }
     }
 
@@ -78,6 +91,7 @@ impl MemConfig {
             layout,
             pad_for_representability: true,
             revocation: false,
+            legacy_store: false,
         }
     }
 
@@ -92,6 +106,7 @@ impl MemConfig {
             layout: AddressLayout::embedded32(),
             pad_for_representability: true,
             revocation: true,
+            legacy_store: false,
         }
     }
 
@@ -105,6 +120,7 @@ impl MemConfig {
             layout: AddressLayout::cerberus(),
             pad_for_representability: false,
             revocation: false,
+            legacy_store: false,
         }
     }
 }
@@ -128,6 +144,9 @@ pub struct MemStats {
     pub representability_checks: u64,
     /// Bytes wasted to representability padding (§3.2).
     pub padding_bytes: u64,
+    /// Number of stored capabilities whose tag a revocation sweep cleared
+    /// (§7 temporal-safety extension).
+    pub revoked_caps: u64,
 }
 
 /// Which kind of access a check is for.
@@ -161,8 +180,26 @@ pub struct CheriMemory<C: Capability> {
     next_alloc: u64,
     iotas: BTreeMap<IotaId, IotaState>,
     next_iota: u64,
+    /// Legacy store only: the global address-indexed byte dictionary.
     bytes: BTreeMap<u64, AbsByte>,
+    /// Legacy store only: the global capability-metadata dictionary.
     caps: CapMeta,
+    /// Sorted interval index over *reserved* allocation footprints:
+    /// `(base, base + reserved_size, id)`, ordered by `base`. Footprints are
+    /// pairwise disjoint (the bump allocators never reuse addresses), so a
+    /// binary search resolves address → allocation in O(log #allocs). Kept
+    /// in both storage modes; the flat store additionally routes all byte
+    /// and capability-slot traffic through it.
+    index: Vec<(u64, u64, AllocId)>,
+    /// Flat store only: bytes written *outside* every allocation's reserved
+    /// footprint. Reachable only through capabilities whose
+    /// CHERI-Concentrate padding extends past their allocation (§3.2), so
+    /// this is empty in practice — it exists to keep the flat store
+    /// observably identical to the legacy global dictionary.
+    spill: BTreeMap<u64, AbsByte>,
+    /// Flat store only: capability-slot metadata for slots whose footprint
+    /// is not fully inside one allocation (same provenance as `spill`).
+    spill_caps: CapMeta,
     stack_ptr: u64,
     heap_ptr: u64,
     globals_ptr: u64,
@@ -186,6 +223,9 @@ impl<C: Capability> CheriMemory<C> {
             next_iota: 0,
             bytes: BTreeMap::new(),
             caps: CapMeta::new(),
+            index: Vec::new(),
+            spill: BTreeMap::new(),
+            spill_caps: CapMeta::new(),
             stack_ptr: cfg.layout.stack_base,
             heap_ptr: cfg.layout.heap_base,
             globals_ptr: cfg.layout.globals_base,
@@ -348,6 +388,21 @@ impl<C: Capability> CheriMemory<C> {
         };
         let base = self.place(reserved, align, kind)?;
         let id = self.fresh_alloc_id();
+        let (buf, slots, first_slot) = if self.cfg.legacy_store {
+            (Vec::new(), crate::capmeta::CapSlotBits::new(0), base)
+        } else {
+            let cb = C::CAP_BYTES as u64;
+            // First capability-aligned address at or above `base`.
+            let first_slot = (base.wrapping_add(cb - 1)) & !(cb - 1);
+            let n_slots = Allocation::slot_count(base, reserved, first_slot, cb);
+            let mut buf = vec![AbsByte::UNINIT; reserved as usize];
+            if let Some(init) = init {
+                for (i, b) in init.iter().enumerate() {
+                    buf[i] = AbsByte::data(*b);
+                }
+            }
+            (buf, crate::capmeta::CapSlotBits::new(n_slots), first_slot)
+        };
         self.allocations.insert(
             id,
             Allocation {
@@ -361,14 +416,21 @@ impl<C: Capability> CheriMemory<C> {
                 exposed: false,
                 readonly: readonly || kind.inherently_readonly(),
                 prefix: prefix.to_string(),
+                buf,
+                slots,
+                first_slot,
             },
         );
+        let pos = self.index.partition_point(|e| e.0 < base);
+        self.index.insert(pos, (base, base + reserved, id));
         self.stats.allocations += 1;
         self.tr(|| format!("create {id} '{prefix}' [{base:#x},+{size}) {kind:?}"));
         if let Some(init) = init {
             debug_assert_eq!(init.len() as u64, size);
-            for (i, b) in init.iter().enumerate() {
-                self.bytes.insert(base + i as u64, AbsByte::data(*b));
+            if self.cfg.legacy_store {
+                for (i, b) in init.iter().enumerate() {
+                    self.bytes.insert(base + i as u64, AbsByte::data(*b));
+                }
             }
         }
         let cap = self.allocation_cap(base, size, kind, readonly);
@@ -436,11 +498,19 @@ impl<C: Capability> CheriMemory<C> {
         if self.cfg.abstract_ub {
             // Abstract machine: the contents become indeterminate when the
             // lifetime ends.
-            let keys: Vec<u64> = self.bytes.range(base..end).map(|(k, _)| *k).collect();
-            for k in keys {
-                self.bytes.remove(&k);
+            if self.cfg.legacy_store {
+                let keys: Vec<u64> = self.bytes.range(base..end).map(|(k, _)| *k).collect();
+                for k in keys {
+                    self.bytes.remove(&k);
+                }
+                self.caps.clear_range(base, end);
+            } else {
+                alloc.buf.fill(AbsByte::UNINIT);
+                alloc.slots.clear_all();
+                // A slot whose footprint crosses the reserved end lives in
+                // the spill dictionary; forget it like the legacy clear did.
+                self.spill_caps.clear_range(base, end);
             }
-            self.caps.clear_range(base, end);
         }
         // Hardware emulation keeps the stale bytes: freed memory reads back
         // its old contents until reused — which is exactly the §3.11
@@ -453,36 +523,107 @@ impl<C: Capability> CheriMemory<C> {
     }
 
     /// Revocation sweep (§7 temporal-safety extension): clear the tag of
-    /// every capability stored anywhere in memory whose decoded bounds fall
-    /// within `[lo, hi)`. This models a Cornucopia/CHERIoT-style revoker;
+    /// every capability stored anywhere in memory whose decoded bounds
+    /// *overlap* `[lo, hi)`. This models a Cornucopia/CHERIoT-style revoker;
     /// capabilities held only in registers are swept at the next epoch on
     /// real systems — here every C object lives in memory, so the sweep is
     /// complete.
+    ///
+    /// The overlap test — not "decoded base inside the freed range" — is
+    /// essential: CHERI-Concentrate representability padding (§3.2) can
+    /// round a derived capability's base *below* the freed allocation's
+    /// base, and a capability spanning several objects starts before the
+    /// freed one. Either way its footprint still covers freed memory, so a
+    /// base-membership test would let it escape the sweep and stay usable
+    /// after `free`.
     fn revoke_range(&mut self, lo: u64, hi: u64) {
         let cb = C::CAP_BYTES as u64;
-        let slots: Vec<u64> = self
-            .bytes
-            .keys()
-            .copied()
-            .filter(|a| a % cb == 0)
-            .collect();
-        for slot in slots {
-            let meta = self.caps.get(slot);
-            if !meta.tag {
+        let overlaps = |cap: &C| {
+            let b = cap.bounds();
+            b.base < hi && b.top > u128::from(lo)
+        };
+        if self.cfg.legacy_store {
+            let slots: Vec<u64> = self
+                .bytes
+                .keys()
+                .copied()
+                .filter(|a| a % cb == 0)
+                .collect();
+            for slot in slots {
+                let meta = self.caps.get(slot);
+                if !meta.tag {
+                    continue;
+                }
+                let raw: Vec<u8> = (0..cb)
+                    .map(|i| {
+                        self.bytes
+                            .get(&(slot + i))
+                            .map(AbsByte::concrete)
+                            .unwrap_or(0)
+                    })
+                    .collect();
+                if let Some(cap) = C::decode(&raw, true) {
+                    if overlaps(&cap) {
+                        self.stats.revoked_caps += 1;
+                        self.caps.set(
+                            slot,
+                            SlotMeta {
+                                tag: false,
+                                ghost: meta.ghost,
+                            },
+                        );
+                    }
+                }
+            }
+            return;
+        }
+        // Flat store: only tagged slots are visited, per allocation, instead
+        // of every byte key in memory.
+        let ids: Vec<AllocId> = self.index.iter().map(|e| e.2).collect();
+        for id in ids {
+            let a = &self.allocations[&id];
+            let mut hits: Vec<usize> = Vec::new();
+            for k in a.slots.tagged_indices() {
+                let slot = a.first_slot + k as u64 * cb;
+                let off = (slot - a.base) as usize;
+                let raw: Vec<u8> = a.buf[off..off + cb as usize]
+                    .iter()
+                    .map(AbsByte::concrete)
+                    .collect();
+                if let Some(cap) = C::decode(&raw, true) {
+                    if overlaps(&cap) {
+                        hits.push(k);
+                    }
+                }
+            }
+            if hits.is_empty() {
                 continue;
             }
-            let raw: Vec<u8> = (0..cb)
-                .map(|i| {
-                    self.bytes
-                        .get(&(slot + i))
-                        .and_then(|b| b.value)
-                        .unwrap_or(0)
-                })
+            self.stats.revoked_caps += hits.len() as u64;
+            let a = self.allocations.get_mut(&id).expect("indexed allocation");
+            for k in hits {
+                let meta = a.slots.get(k);
+                a.slots.set(
+                    k,
+                    SlotMeta {
+                        tag: false,
+                        ghost: meta.ghost,
+                    },
+                );
+            }
+        }
+        // Capabilities stored outside every allocation footprint (spill).
+        for slot in self.spill_caps.tagged_addrs() {
+            let raw: Vec<u8> = self
+                .read_bytes(slot, cb)
+                .iter()
+                .map(AbsByte::concrete)
                 .collect();
             if let Some(cap) = C::decode(&raw, true) {
-                let b = cap.bounds();
-                if b.base >= lo && b.base < hi {
-                    self.caps.set(
+                if overlaps(&cap) {
+                    self.stats.revoked_caps += 1;
+                    let meta = self.spill_caps.get(slot);
+                    self.spill_caps.set(
                         slot,
                         SlotMeta {
                             tag: false,
@@ -585,17 +726,38 @@ impl<C: Capability> CheriMemory<C> {
     /// PNVI-ae-udi integer-to-pointer provenance lookup: find the exposed,
     /// live allocation(s) whose footprint (or one-past point) contains
     /// `addr`.
+    ///
+    /// Resolved through the interval index instead of a linear scan: any
+    /// allocation with `addr ∈ [base, end())` or `addr == end()` also has
+    /// `addr` or `addr - 1` inside its *reserved* footprint (requested size
+    /// ≤ reserved size, and an `end() == addr` match with `size > 0` covers
+    /// `addr - 1`; a zero-sized allocation covers `addr` itself since at
+    /// least one byte is always reserved). So the only candidates are the
+    /// two index hits, examined in ascending ID order exactly like the old
+    /// full scan.
     fn lookup_provenance(&mut self, addr: u64) -> Provenance {
+        let mut cand = [
+            addr.checked_sub(1)
+                .and_then(|a| self.index_pos(a))
+                .map(|i| self.index[i].2),
+            self.index_pos(addr).map(|i| self.index[i].2),
+        ];
+        if cand[0] == cand[1] {
+            cand[0] = None;
+        }
+        let mut ids: Vec<AllocId> = cand.into_iter().flatten().collect();
+        ids.sort_unstable();
         let mut inside: Option<AllocId> = None;
         let mut one_past: Option<AllocId> = None;
-        for (id, a) in &self.allocations {
+        for id in ids {
+            let a = &self.allocations[&id];
             if !a.alive || !a.exposed {
                 continue;
             }
             if addr >= a.base && addr < a.end() {
-                inside = Some(*id);
+                inside = Some(id);
             } else if addr == a.end() {
-                one_past = Some(*id);
+                one_past = Some(id);
             }
         }
         match (inside, one_past) {
@@ -710,51 +872,241 @@ impl<C: Capability> CheriMemory<C> {
         Ok(())
     }
 
-    // ── Byte-level helpers ───────────────────────────────────────────────
+    // ── Byte-level helpers (the B and C dictionaries) ────────────────────
+    //
+    // Every byte and capability-slot access below dispatches on
+    // `cfg.legacy_store`: the legacy path keeps the original global
+    // `BTreeMap` dictionaries, the flat path routes through the interval
+    // index into per-allocation buffers/bitsets. Checked accesses always
+    // land inside one allocation's reserved footprint (capability bounds
+    // are confined to it by representability padding), so the segment walks
+    // below take the single-allocation fast path in practice; the gap/spill
+    // branches only exist for padded-out-of-allocation capabilities.
+
+    /// Interval-index position of the allocation whose *reserved* footprint
+    /// contains `addr`.
+    #[inline]
+    fn index_pos(&self, addr: u64) -> Option<usize> {
+        let i = self.index.partition_point(|e| e.0 <= addr);
+        (i > 0 && addr < self.index[i - 1].1).then(|| i - 1)
+    }
+
+    /// The allocation whose reserved footprint contains `addr` (flat store).
+    #[inline]
+    fn alloc_at(&self, addr: u64) -> Option<&Allocation> {
+        self.index_pos(addr)
+            .map(|i| &self.allocations[&self.index[i].2])
+    }
 
     fn read_bytes(&self, addr: u64, n: u64) -> Vec<AbsByte> {
-        (0..n)
-            .map(|i| {
-                self.bytes
-                    .get(&(addr + i))
-                    .copied()
-                    .unwrap_or(AbsByte::UNINIT)
-            })
-            .collect()
+        if self.cfg.legacy_store {
+            return (0..n)
+                .map(|i| {
+                    self.bytes
+                        .get(&(addr + i))
+                        .copied()
+                        .unwrap_or(AbsByte::UNINIT)
+                })
+                .collect();
+        }
+        let mut out = vec![AbsByte::UNINIT; n as usize];
+        let end = addr + n;
+        let mut cur = addr;
+        while cur < end {
+            if let Some(i) = self.index_pos(cur) {
+                let (base, a_end, id) = self.index[i];
+                let a = &self.allocations[&id];
+                let take = (a_end.min(end) - cur) as usize;
+                let off = (cur - base) as usize;
+                let dst = (cur - addr) as usize;
+                out[dst..dst + take].copy_from_slice(&a.buf[off..off + take]);
+                cur += take as u64;
+            } else {
+                let j = self.index.partition_point(|e| e.0 <= cur);
+                let stop = self
+                    .index
+                    .get(j)
+                    .map_or(end, |e| e.0.min(end));
+                if !self.spill.is_empty() {
+                    for (k, b) in self.spill.range(cur..stop) {
+                        out[(k - addr) as usize] = *b;
+                    }
+                }
+                cur = stop;
+            }
+        }
+        out
+    }
+
+    /// Write abstract bytes verbatim (provenance and copy indices intact).
+    fn write_abs_bytes(&mut self, addr: u64, data: &[AbsByte]) {
+        if self.cfg.legacy_store {
+            for (i, b) in data.iter().enumerate() {
+                self.bytes.insert(addr + i as u64, *b);
+            }
+            return;
+        }
+        let end = addr + data.len() as u64;
+        let mut cur = addr;
+        while cur < end {
+            if let Some(i) = self.index_pos(cur) {
+                let (base, a_end, id) = self.index[i];
+                let take = (a_end.min(end) - cur) as usize;
+                let off = (cur - base) as usize;
+                let src = (cur - addr) as usize;
+                let a = self.allocations.get_mut(&id).expect("indexed allocation");
+                a.buf[off..off + take].copy_from_slice(&data[src..src + take]);
+                cur += take as u64;
+            } else {
+                let j = self.index.partition_point(|e| e.0 <= cur);
+                let stop = self
+                    .index
+                    .get(j)
+                    .map_or(end, |e| e.0.min(end));
+                for k in cur..stop {
+                    self.spill.insert(k, data[(k - addr) as usize]);
+                }
+                cur = stop;
+            }
+        }
+    }
+
+    /// Capability-slot metadata at aligned address `addr`.
+    fn slot_get(&self, addr: u64) -> SlotMeta {
+        if self.cfg.legacy_store {
+            return self.caps.get(addr);
+        }
+        let cb = C::CAP_BYTES as u64;
+        if let Some(a) = self.alloc_at(addr) {
+            if let Some(k) = a.slot_index(addr, cb) {
+                return a.slots.get(k);
+            }
+        }
+        self.spill_caps.get(addr)
+    }
+
+    /// Record capability-slot metadata at aligned address `addr`.
+    fn slot_set(&mut self, addr: u64, meta: SlotMeta) {
+        if self.cfg.legacy_store {
+            self.caps.set(addr, meta);
+            return;
+        }
+        let cb = C::CAP_BYTES as u64;
+        if let Some(i) = self.index_pos(addr) {
+            let id = self.index[i].2;
+            let a = self.allocations.get_mut(&id).expect("indexed allocation");
+            if let Some(k) = a.slot_index(addr, cb) {
+                a.slots.set(k, meta);
+                return;
+            }
+        }
+        self.spill_caps.set(addr, meta);
+    }
+
+    /// Invalidate every capability slot whose footprint overlaps `[lo, hi)`
+    /// (§4.3 non-capability write rule), mirroring
+    /// [`CapMeta::invalidate_range`] exactly.
+    fn caps_invalidate(&mut self, lo: u64, hi: u64) {
+        let cb = C::CAP_BYTES as u64;
+        let mode = self.cfg.tag_invalidation;
+        if self.cfg.legacy_store {
+            self.caps.invalidate_range(lo, hi, cb, mode);
+            return;
+        }
+        if hi <= lo {
+            return;
+        }
+        let first = lo & !(cb - 1);
+        let mut pos = self.index.partition_point(|e| e.1 <= first);
+        while pos < self.index.len() && self.index[pos].0 < hi {
+            let id = self.index[pos].2;
+            let a = self.allocations.get_mut(&id).expect("indexed allocation");
+            let n_slots = a.slots.len() as u64;
+            if n_slots > 0 && hi > a.first_slot {
+                // Slot `k` sits at `first_slot + k*cb`; touch those with
+                // address in `[first, hi)`.
+                let k_lo = if first > a.first_slot {
+                    (first - a.first_slot).div_ceil(cb)
+                } else {
+                    0
+                };
+                let k_hi = (hi - a.first_slot).div_ceil(cb).min(n_slots);
+                for k in k_lo..k_hi {
+                    let m = a.slots.get(k as usize);
+                    if m.tag || !m.ghost.is_clean() {
+                        let new = match mode {
+                            TagInvalidation::Ghost => SlotMeta {
+                                tag: m.tag,
+                                ghost: GhostState {
+                                    tag_unspecified: true,
+                                    bounds_unspecified: m.ghost.bounds_unspecified,
+                                },
+                            },
+                            TagInvalidation::Clear => SlotMeta::default(),
+                        };
+                        a.slots.set(k as usize, new);
+                    }
+                }
+            }
+            pos += 1;
+        }
+        if !self.spill_caps.is_empty() {
+            self.spill_caps.invalidate_range(lo, hi, cb, mode);
+        }
     }
 
     fn write_data_bytes(&mut self, addr: u64, data: &[u8]) {
-        for (i, b) in data.iter().enumerate() {
-            self.bytes.insert(addr + i as u64, AbsByte::data(*b));
+        if self.cfg.legacy_store {
+            for (i, b) in data.iter().enumerate() {
+                self.bytes.insert(addr + i as u64, AbsByte::data(*b));
+            }
+        } else {
+            let end = addr + data.len() as u64;
+            let mut cur = addr;
+            while cur < end {
+                if let Some(i) = self.index_pos(cur) {
+                    let (base, a_end, id) = self.index[i];
+                    let take = (a_end.min(end) - cur) as usize;
+                    let off = (cur - base) as usize;
+                    let src = (cur - addr) as usize;
+                    let a = self.allocations.get_mut(&id).expect("indexed allocation");
+                    for t in 0..take {
+                        a.buf[off + t] = AbsByte::data(data[src + t]);
+                    }
+                    cur += take as u64;
+                } else {
+                    let j = self.index.partition_point(|e| e.0 <= cur);
+                    let stop = self
+                        .index
+                        .get(j)
+                        .map_or(end, |e| e.0.min(end));
+                    for k in cur..stop {
+                        self.spill.insert(k, AbsByte::data(data[(k - addr) as usize]));
+                    }
+                    cur = stop;
+                }
+            }
         }
-        self.caps.invalidate_range(
-            addr,
-            addr + data.len() as u64,
-            C::CAP_BYTES as u64,
-            self.cfg.tag_invalidation,
-        );
+        self.caps_invalidate(addr, addr + data.len() as u64);
         self.stats.stores += 1;
     }
 
     /// Raw byte copy without checks (used by realloc internally).
     fn copy_bytes_raw(&mut self, src: u64, dst: u64, n: u64) {
         let bytes = self.read_bytes(src, n);
-        for (i, b) in bytes.into_iter().enumerate() {
-            self.bytes.insert(dst + i as u64, b);
-        }
+        self.write_abs_bytes(dst, &bytes);
         // The copy is a (possibly partial) representation write to the
         // destination: any capability whose slot it touches is invalidated…
         let cb = C::CAP_BYTES as u64;
-        self.caps
-            .invalidate_range(dst, dst + n, cb, self.cfg.tag_invalidation);
+        self.caps_invalidate(dst, dst + n);
         // …and then capability-aligned, fully-copied slots get the source
         // metadata transferred (§3.5: memcpy uses capability-sized accesses
         // where possible, preserving tags).
         if src % cb == dst % cb {
             let mut slot = (src + cb - 1) & !(cb - 1);
             while slot + cb <= src + n {
-                let meta = self.caps.get(slot);
-                self.caps.set(dst + (slot - src), meta);
+                let meta = self.slot_get(slot);
+                self.slot_set(dst + (slot - src), meta);
                 slot += cb;
             }
         }
@@ -814,7 +1166,7 @@ impl<C: Capability> CheriMemory<C> {
         if want_intptr && self.cfg.capabilities && size == C::CAP_BYTES as u64 {
             let prov = recover_provenance(&bytes);
             let (cap, ghost_extra) = if addr.is_multiple_of(C::CAP_BYTES as u64) {
-                let meta = self.caps.get(addr);
+                let meta = self.slot_get(addr);
                 let cap = C::decode(&raw, meta.tag)
                     .ok_or_else(|| MemError::Fail("capability decode".into()))?;
                 (cap.with_ghost(meta.ghost), GhostState::CLEAN)
@@ -896,7 +1248,7 @@ impl<C: Capability> CheriMemory<C> {
         let prov = recover_provenance(&bytes);
         if self.cfg.capabilities {
             let (tag, ghost) = if addr.is_multiple_of(C::CAP_BYTES as u64) {
-                let meta = self.caps.get(addr);
+                let meta = self.slot_get(addr);
                 (meta.tag, meta.ghost)
             } else {
                 (false, GhostState::CLEAN)
@@ -927,12 +1279,10 @@ impl<C: Capability> CheriMemory<C> {
         } else {
             let a = v.addr();
             let addr = p.addr();
-            for i in 0..size {
-                self.bytes.insert(
-                    addr + i,
-                    AbsByte::pointer(v.prov, (a >> (8 * i)) as u8, i as u8),
-                );
-            }
+            let abs: Vec<AbsByte> = (0..size)
+                .map(|i| AbsByte::pointer(v.prov, (a >> (8 * i)) as u8, i as u8))
+                .collect();
+            self.write_abs_bytes(addr, &abs);
             self.stats.stores += 1;
             Ok(())
         }
@@ -941,12 +1291,14 @@ impl<C: Capability> CheriMemory<C> {
     fn store_cap_bytes(&mut self, addr: u64, cap: &C, prov: Provenance) -> MemResult<()> {
         let enc = cap.encode();
         let cb = C::CAP_BYTES as u64;
-        for (i, b) in enc.iter().enumerate() {
-            self.bytes
-                .insert(addr + i as u64, AbsByte::pointer(prov, *b, i as u8));
-        }
+        let abs: Vec<AbsByte> = enc
+            .iter()
+            .enumerate()
+            .map(|(i, b)| AbsByte::pointer(prov, *b, i as u8))
+            .collect();
+        self.write_abs_bytes(addr, &abs);
         if addr.is_multiple_of(cb) {
-            self.caps.set(
+            self.slot_set(
                 addr,
                 SlotMeta {
                     tag: cap.tag(),
@@ -955,8 +1307,7 @@ impl<C: Capability> CheriMemory<C> {
             );
         } else {
             // Misaligned capability store: the tag cannot be represented.
-            self.caps
-                .invalidate_range(addr, addr + cb, cb, self.cfg.tag_invalidation);
+            self.caps_invalidate(addr, addr + cb);
         }
         self.stats.stores += 1;
         Ok(())
@@ -1003,7 +1354,10 @@ impl<C: Capability> CheriMemory<C> {
     ///
     /// # Errors
     ///
-    /// Access-check failures; UB on comparing uninitialised bytes.
+    /// Access-check failures; in abstract-machine mode, UB on comparing
+    /// uninitialised bytes. The hardware-emulation profiles instead compare
+    /// the stale concrete bytes (real memory has no "uninitialised" state —
+    /// the same behaviour [`CheriMemory::kill`] documents for freed memory).
     pub fn memcmp(&mut self, a: &PtrVal<C>, b: &PtrVal<C>, n: u64) -> MemResult<i32> {
         if n == 0 {
             return Ok(0);
@@ -1013,14 +1367,18 @@ impl<C: Capability> CheriMemory<C> {
         let ba = self.read_bytes(a.addr(), n);
         let bb = self.read_bytes(b.addr(), n);
         for (x, y) in ba.iter().zip(bb.iter()) {
-            let (x, y) = match (x.value, y.value) {
-                (Some(x), Some(y)) => (x, y),
-                _ => {
-                    return Err(MemError::ub(
-                        Ub::UninitialisedRead,
-                        "memcmp of uninitialised bytes",
-                    ))
+            let (x, y) = if self.cfg.abstract_ub {
+                match (x.value, y.value) {
+                    (Some(x), Some(y)) => (x, y),
+                    _ => {
+                        return Err(MemError::ub(
+                            Ub::UninitialisedRead,
+                            "memcmp of uninitialised bytes",
+                        ))
+                    }
                 }
+            } else {
+                (x.concrete(), y.concrete())
             };
             if x != y {
                 return Ok(if x < y { -1 } else { 1 });
@@ -1074,7 +1432,10 @@ impl<C: Capability> CheriMemory<C> {
     ///
     /// # Errors
     ///
-    /// UB when the provenances differ (§3.11 check (2)).
+    /// UB when the provenances differ (§3.11 check (2)). A zero-sized
+    /// element type is a hard [`MemError::Fail`]: it cannot arise from
+    /// well-typed C, so reaching it is an interpreter bug we want loud,
+    /// not masked by silently dividing by 1.
     pub fn ptr_diff(&mut self, a: &PtrVal<C>, b: &PtrVal<C>, elem: u64) -> MemResult<i64> {
         if self.cfg.abstract_ub {
             let ia = self.resolve_prov(&a.prov, a.addr(), 0)?;
@@ -1086,7 +1447,12 @@ impl<C: Capability> CheriMemory<C> {
                 ));
             }
         }
-        let d = (a.addr() as i128 - b.addr() as i128) / elem.max(1) as i128;
+        if elem == 0 {
+            return Err(MemError::Fail(
+                "pointer subtraction with zero-sized element type".into(),
+            ));
+        }
+        let d = (a.addr() as i128 - b.addr() as i128) / elem as i128;
         Ok(d as i64)
     }
 
@@ -1210,20 +1576,29 @@ impl<C: Capability> CheriMemory<C> {
     /// Find the live allocation containing `addr`, if any.
     #[must_use]
     pub fn find_live(&self, addr: u64) -> Option<&Allocation> {
-        self.allocations
-            .values()
-            .find(|a| a.alive && addr >= a.base && addr < a.end())
+        // The reserved footprint is a superset of the requested one, so the
+        // index hit is the only possible candidate.
+        self.alloc_at(addr)
+            .filter(|a| a.alive && addr >= a.base && addr < a.end())
     }
 
     /// Number of tagged capabilities currently in memory.
     #[must_use]
     pub fn tagged_caps_in_memory(&self) -> usize {
-        self.caps.tagged_count()
+        if self.cfg.legacy_store {
+            self.caps.tagged_count()
+        } else {
+            self.allocations
+                .values()
+                .map(|a| a.slots.tagged_count())
+                .sum::<usize>()
+                + self.spill_caps.tagged_count()
+        }
     }
 
     /// Direct access to the capability metadata of an aligned slot (tests).
     #[must_use]
     pub fn cap_meta_at(&self, addr: u64) -> SlotMeta {
-        self.caps.get(addr)
+        self.slot_get(addr)
     }
 }

@@ -38,7 +38,7 @@ mod value;
 
 pub use absbyte::{recover_provenance, AbsByte};
 pub use allocation::{AllocKind, Allocation};
-pub use capmeta::{CapMeta, SlotMeta, TagInvalidation};
+pub use capmeta::{CapMeta, CapSlotBits, SlotMeta, TagInvalidation};
 pub use cheri::{CheriMemory, MemConfig, MemStats};
 pub use layout::AddressLayout;
 pub use provenance::{AllocId, IotaId, IotaState, Provenance};

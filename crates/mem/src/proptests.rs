@@ -221,3 +221,180 @@ fn pointer_store_load_roundtrip() {
         },
     );
 }
+
+// ── Differential: flat store vs legacy store ─────────────────────────────
+
+/// A mixed (deliberately UB-capable) operation for the store-equivalence
+/// referee: every outcome, including errors, is compared across stores.
+#[derive(Clone, Debug)]
+enum MOp {
+    Alloc { size: u8 },
+    Free { t: u8 },
+    Store { t: u8, off: u8, val: i32 },
+    Load { t: u8, off: u8 },
+    StorePtr { t: u8, off: u8, src: u8 },
+    LoadPtr { t: u8, off: u8 },
+    Copy { from: u8, to: u8, from_off: u8, to_off: u8, len: u8 },
+    Set { t: u8, off: u8, byte: u8, len: u8 },
+}
+
+cheri_qc::no_shrink!(MOp);
+
+fn arb_mop(rng: &mut Rng) -> MOp {
+    match rng.gen_range(0..8u8) {
+        0 => MOp::Alloc { size: rng.gen_range(1u8..96) },
+        1 => MOp::Free { t: rng.gen() },
+        2 => MOp::Store { t: rng.gen(), off: rng.gen_range(0u8..96), val: rng.gen() },
+        3 => MOp::Load { t: rng.gen(), off: rng.gen_range(0u8..96) },
+        4 => MOp::StorePtr { t: rng.gen(), off: rng.gen_range(0u8..96), src: rng.gen() },
+        5 => MOp::LoadPtr { t: rng.gen(), off: rng.gen_range(0u8..96) },
+        6 => MOp::Copy {
+            from: rng.gen(),
+            to: rng.gen(),
+            from_off: rng.gen_range(0u8..64),
+            to_off: rng.gen_range(0u8..64),
+            len: rng.gen_range(0u8..48),
+        },
+        _ => MOp::Set {
+            t: rng.gen(),
+            off: rng.gen_range(0u8..64),
+            byte: rng.gen(),
+            len: rng.gen_range(0u8..48),
+        },
+    }
+}
+
+fn arb_mops(rng: &mut Rng) -> Vec<MOp> {
+    let n = rng.gen_range(1usize..50);
+    (0..n).map(|_| arb_mop(rng)).collect()
+}
+
+/// Rebase a pointer to `addr + off` without the arithmetic UB check, so the
+/// sequence can probe out-of-bounds accesses too.
+fn at<C: Capability>(p: &PtrVal<C>, off: u8) -> PtrVal<C> {
+    PtrVal::new(
+        p.prov,
+        p.cap.with_address(p.addr().wrapping_add(u64::from(off))),
+    )
+}
+
+/// Run a mixed sequence and log every observable: op results (values and
+/// errors), the tagged-capability count after each op, a final byte/slot
+/// sweep over every allocation, the stats counters, and the event trace.
+fn run_mixed<C: Capability>(cfg: MemConfig, ops: &[MOp]) -> Vec<String> {
+    fn pick<C: Capability>(ptrs: &[PtrVal<C>], t: u8) -> Option<PtrVal<C>> {
+        if ptrs.is_empty() {
+            None
+        } else {
+            Some(ptrs[usize::from(t) % ptrs.len()].clone())
+        }
+    }
+    let mut mem = CheriMemory::<C>::new(cfg);
+    mem.enable_trace();
+    let mut ptrs: Vec<PtrVal<C>> = Vec::new();
+    let mut log: Vec<String> = Vec::new();
+    for op in ops {
+        let line = match *op {
+            MOp::Alloc { size } => match mem.allocate_region(u64::from(size), 16) {
+                Ok(p) => {
+                    ptrs.push(p.clone());
+                    format!("alloc @{:#x}", p.addr())
+                }
+                Err(e) => format!("alloc err {e:?}"),
+            },
+            MOp::Free { t } => match pick(&ptrs, t) {
+                Some(p) => format!("free {:?}", mem.kill(&p, true)),
+                None => "skip".into(),
+            },
+            MOp::Store { t, off, val } => match pick(&ptrs, t) {
+                Some(p) => format!(
+                    "store {:?}",
+                    mem.store_int(&at(&p, off), 4, &IntVal::Num(i128::from(val)))
+                ),
+                None => "skip".into(),
+            },
+            MOp::Load { t, off } => match pick(&ptrs, t) {
+                Some(p) => format!("load {:?}", mem.load_int(&at(&p, off), 4, true, false)),
+                None => "skip".into(),
+            },
+            MOp::StorePtr { t, off, src } => match (pick(&ptrs, t), pick(&ptrs, src)) {
+                (Some(p), Some(s)) => format!("storep {:?}", mem.store_ptr(&at(&p, off), &s)),
+                _ => "skip".into(),
+            },
+            MOp::LoadPtr { t, off } => match pick(&ptrs, t) {
+                Some(p) => format!("loadp {:?}", mem.load_ptr(&at(&p, off))),
+                None => "skip".into(),
+            },
+            MOp::Copy { from, to, from_off, to_off, len } => {
+                match (pick(&ptrs, from), pick(&ptrs, to)) {
+                    (Some(f), Some(d)) => format!(
+                        "copy {:?}",
+                        mem.memcpy(&at(&d, to_off), &at(&f, from_off), u64::from(len))
+                    ),
+                    _ => "skip".into(),
+                }
+            }
+            MOp::Set { t, off, byte, len } => match pick(&ptrs, t) {
+                Some(p) => format!(
+                    "set {:?}",
+                    mem.memset(&at(&p, off), byte, u64::from(len))
+                ),
+                None => "skip".into(),
+            },
+        };
+        log.push(format!("{line}; tags={}", mem.tagged_caps_in_memory()));
+    }
+    for p in &ptrs {
+        for off in (0..96u8).step_by(4) {
+            log.push(format!("sweep {:?}", mem.load_int(&at(p, off), 4, false, false)));
+        }
+        let cb = C::CAP_BYTES as u64;
+        let mut slot = (p.addr() + cb - 1) & !(cb - 1);
+        while slot < p.addr() + 96 {
+            log.push(format!("meta {slot:#x} {:?}", mem.cap_meta_at(slot)));
+            slot += cb;
+        }
+    }
+    log.push(format!("stats {:?}", mem.stats));
+    log.extend(mem.take_trace());
+    log
+}
+
+/// The flat per-allocation store and the legacy global-dictionary store
+/// are observably identical — results (including UB/trap errors), traces,
+/// capability slots, stats, and byte contents — across every profile
+/// family, including the revocation-on-free CHERIoT configuration.
+#[test]
+fn legacy_and_flat_stores_agree() {
+    use cheri_cap::{CcCap, CheriotProfile};
+    use crate::AddressLayout;
+
+    check("legacy_and_flat_stores_agree", Config::cases(96), arb_mops, |ops| {
+        let morello_cfgs = [
+            MemConfig::cheri_reference(),
+            MemConfig::cheri_hardware(AddressLayout::clang_morello()),
+            MemConfig::iso_baseline(),
+        ];
+        for cfg in morello_cfgs {
+            let mut legacy = cfg;
+            legacy.legacy_store = true;
+            let mut flat = cfg;
+            flat.legacy_store = false;
+            assert_eq!(
+                run_mixed::<MorelloCap>(flat, ops),
+                run_mixed::<MorelloCap>(legacy, ops),
+                "stores diverge under {cfg:?}"
+            );
+        }
+        let cfg = MemConfig::cheriot();
+        let mut legacy = cfg;
+        legacy.legacy_store = true;
+        let mut flat = cfg;
+        flat.legacy_store = false;
+        assert_eq!(
+            run_mixed::<CcCap<CheriotProfile>>(flat, ops),
+            run_mixed::<CcCap<CheriotProfile>>(legacy, ops),
+            "stores diverge under {cfg:?}"
+        );
+    });
+}

@@ -510,3 +510,211 @@ fn iota_resolves_on_first_use_and_stays_resolved() {
     let back_into_a = PtrVal::new(amb.prov, a.cap.with_address(a.addr()));
     expect_ub(m.load_int(&back_into_a, 4, true, false), Ub::AccessOutOfBounds);
 }
+
+// ── Revocation sweep: bounds-overlap, not base-membership (§7 + §3.2) ────
+
+#[test]
+fn revocation_sweeps_padded_capability_whose_base_escapes_the_freed_range() {
+    use cheri_cap::{CcCap, CheriotProfile};
+    type Cap = CcCap<CheriotProfile>;
+
+    let mut m = CheriMemory::<Cap>::new(MemConfig::cheriot());
+    // Shift the heap cursor so the victim's base is *not* aligned to the
+    // CHERI-Concentrate granule of the capability crafted below.
+    let _pad = m.allocate_region(16, 16).unwrap();
+    let v = m.allocate_region(16, 16).unwrap();
+
+    // Craft a tagged capability into `v` whose representability padding
+    // pushed the decoded base BELOW the allocation base: exactly the shape
+    // that escaped the old `base ∈ [lo, hi)` revocation filter.
+    let mut escape: Option<Cap> = None;
+    'search: for off in [4u64, 8, 12] {
+        let mut len = 32u64;
+        while len <= 1 << 24 {
+            let c = Cap::root().with_bounds(v.addr() + off, len);
+            if c.tag() && c.bounds().base < v.addr() {
+                escape = Some(c);
+                break 'search;
+            }
+            len *= 2;
+        }
+    }
+    let escape = escape.expect("some length forces downward base padding");
+    let b = escape.bounds();
+    assert!(
+        b.base < v.addr(),
+        "premise: padding pushed the decoded base below the allocation"
+    );
+    assert!(
+        b.top > u128::from(v.addr()),
+        "premise: the footprint still overlaps the allocation"
+    );
+
+    let slot = m.allocate_object("slot", 8, 8, false, None).unwrap();
+    m.store_ptr(&slot, &PtrVal::new(v.prov, escape)).unwrap();
+    assert!(m.cap_meta_at(slot.addr()).tag);
+
+    m.kill(&v, true).unwrap();
+    assert!(
+        !m.cap_meta_at(slot.addr()).tag,
+        "overlap-based revocation must catch the padded capability"
+    );
+    assert!(m.stats.revoked_caps >= 1);
+
+    // End to end: reloading and using the revoked pointer traps.
+    let loaded = m.load_ptr(&slot).unwrap();
+    assert!(!loaded.cap.tag());
+    expect_trap(m.store_int(&loaded, 4, &IntVal::Num(1)), TrapKind::TagViolation);
+}
+
+#[test]
+fn revocation_still_sweeps_exact_capability_to_freed_region() {
+    use cheri_cap::{CcCap, CheriotProfile};
+    type Cap = CcCap<CheriotProfile>;
+
+    let mut m = CheriMemory::<Cap>::new(MemConfig::cheriot());
+    let v = m.allocate_region(16, 16).unwrap();
+    let slot = m.allocate_object("slot", 8, 8, false, None).unwrap();
+    m.store_ptr(&slot, &v).unwrap();
+    m.kill(&v, true).unwrap();
+    assert!(!m.cap_meta_at(slot.addr()).tag);
+    assert_eq!(m.stats.revoked_caps, 1);
+    let loaded = m.load_ptr(&slot).unwrap();
+    expect_trap(m.load_int(&loaded, 4, true, false), TrapKind::TagViolation);
+}
+
+#[test]
+fn revocation_spares_capabilities_to_other_allocations() {
+    use cheri_cap::{CcCap, CheriotProfile};
+    type Cap = CcCap<CheriotProfile>;
+
+    let mut m = CheriMemory::<Cap>::new(MemConfig::cheriot());
+    let keep = m.allocate_region(16, 16).unwrap();
+    let v = m.allocate_region(16, 16).unwrap();
+    let slot = m.allocate_object("slot", 8, 8, false, None).unwrap();
+    m.store_ptr(&slot, &keep).unwrap();
+    m.kill(&v, true).unwrap();
+    assert!(
+        m.cap_meta_at(slot.addr()).tag,
+        "capability to a live allocation must survive the sweep"
+    );
+    assert_eq!(m.stats.revoked_caps, 0);
+}
+
+// ── memcmp: abstract UB vs hardware stale-byte reads ─────────────────────
+
+#[test]
+fn memcmp_of_uninitialised_memory_diverges_by_profile() {
+    // Abstract machine (cerberus): comparing uninitialised bytes is UB.
+    let mut r = reference();
+    let a = r.allocate_object("a", 8, 8, false, None).unwrap();
+    let b = r.allocate_object("b", 8, 8, false, Some(&[0; 8])).unwrap();
+    expect_ub(r.memcmp(&a, &b, 8), Ub::UninitialisedRead);
+
+    // Hardware emulation: real memory has no "uninitialised" state; the
+    // stale concrete bytes (deterministically 0 in our never-reused RAM)
+    // are compared, matching the kill() stale-byte behaviour.
+    let mut h = hardware();
+    let a = h.allocate_object("a", 8, 8, false, None).unwrap();
+    let b = h.allocate_object("b", 8, 8, false, Some(&[0; 8])).unwrap();
+    assert_eq!(h.memcmp(&a, &b, 8).unwrap(), 0);
+    let c = h
+        .allocate_object("c", 8, 8, false, Some(&[1, 0, 0, 0, 0, 0, 0, 0]))
+        .unwrap();
+    assert_eq!(h.memcmp(&a, &c, 8).unwrap(), -1);
+    assert_eq!(h.memcmp(&c, &a, 8).unwrap(), 1);
+}
+
+// ── ptr_diff: zero-sized element type is a loud failure ──────────────────
+
+#[test]
+fn ptr_diff_with_zero_sized_element_fails_loudly() {
+    let mut m = reference();
+    let a = m.allocate_object("arr", 16, 4, false, Some(&[0; 16])).unwrap();
+    let p = m.array_shift(&a, 4, 2).unwrap();
+    assert!(matches!(m.ptr_diff(&p, &a, 0), Err(MemError::Fail(_))));
+    // Not gated on abstract_ub: an interpreter bug is loud in every profile.
+    let mut h = hardware();
+    let a = h.allocate_object("arr", 16, 4, false, Some(&[0; 16])).unwrap();
+    assert!(matches!(h.ptr_diff(&a, &a, 0), Err(MemError::Fail(_))));
+}
+
+// ── memcpy tag transfer: misalignment, partial slots, overlap (§3.5) ─────
+
+#[test]
+fn misaligned_memcpy_does_not_transfer_tags() {
+    let mut m = reference();
+    let x = m.allocate_object("x", 4, 4, false, Some(&[0; 4])).unwrap();
+    let p0 = m.allocate_object("src", 16, 16, false, None).unwrap();
+    let p1 = m.allocate_object("dst", 32, 16, false, Some(&[0; 32])).unwrap();
+    m.store_ptr(&p0, &x).unwrap();
+    let dst = m.array_shift(&p1, 1, 4).unwrap();
+    m.memcpy(&dst, &p0, 16).unwrap();
+    // src % CAP_BYTES != dst % CAP_BYTES: no slot can move as one unit.
+    assert!(!m.cap_meta_at(p1.addr()).tag);
+    assert!(!m.cap_meta_at(p1.addr() + 16).tag);
+    assert_eq!(m.tagged_caps_in_memory(), 1, "only the source tag survives");
+}
+
+#[test]
+fn memcpy_partial_trailing_slot_does_not_transfer_tag() {
+    let mut m = reference();
+    let x = m.allocate_object("x", 4, 4, false, Some(&[0; 4])).unwrap();
+    let b0 = m.allocate_object("src", 32, 16, false, Some(&[0; 32])).unwrap();
+    let b1 = m.allocate_object("dst", 32, 16, false, Some(&[0; 32])).unwrap();
+    let hi0 = m.array_shift(&b0, 1, 16).unwrap();
+    m.store_ptr(&hi0, &x).unwrap(); // capability in the second slot of b0
+    m.memcpy(&b1, &b0, 24).unwrap(); // slot 0 fully copied, slot 1 partially
+    assert!(m.cap_meta_at(b0.addr() + 16).tag, "source stays tagged");
+    assert!(
+        !m.cap_meta_at(b1.addr() + 16).tag,
+        "a partially copied slot must not carry the tag"
+    );
+    let hi1 = m.array_shift(&b1, 1, 16).unwrap();
+    let loaded = m.load_ptr(&hi1).unwrap();
+    assert!(!loaded.cap.tag());
+}
+
+#[test]
+fn overlapping_forward_memcpy_moves_tag_with_the_bytes() {
+    let mut m = reference();
+    let x = m.allocate_object("x", 4, 4, false, Some(&[0; 4])).unwrap();
+    let buf = m.allocate_object("buf", 48, 16, false, Some(&[0; 48])).unwrap();
+    m.store_ptr(&buf, &x).unwrap(); // capability at offset 0
+    let fwd = m.array_shift(&buf, 1, 16).unwrap();
+    m.memcpy(&fwd, &buf, 32).unwrap(); // [0,32) -> [16,48), overlapping
+    // The slot below the destination range is untouched, and the capability
+    // arrives intact at offset 16 (bytes are snapshotted first: memmove).
+    assert!(m.cap_meta_at(buf.addr()).tag);
+    assert!(m.cap_meta_at(buf.addr() + 16).tag);
+    let at16 = m.load_ptr(&fwd).unwrap();
+    assert!(at16.cap.tag());
+    assert!(at16.cap.ghost().is_clean());
+    m.store_int(&at16, 4, &IntVal::Num(7)).unwrap(); // still usable
+}
+
+#[test]
+fn overlapping_backward_memcpy_invalidates_the_moved_tag() {
+    // dst < src with overlap: the destination-range invalidation hits the
+    // source slot *before* the tag transfer, so the moved capability comes
+    // out ghost-invalidated (abstract) or untagged (hardware). This pins
+    // the legacy semantics so the flat store cannot silently change them.
+    let mut r = reference();
+    let x = r.allocate_object("x", 4, 4, false, Some(&[0; 4])).unwrap();
+    let buf = r.allocate_object("buf", 48, 16, false, Some(&[0; 48])).unwrap();
+    let mid = r.array_shift(&buf, 1, 16).unwrap();
+    r.store_ptr(&mid, &x).unwrap(); // capability at offset 16
+    r.memcpy(&buf, &mid, 32).unwrap(); // [16,48) -> [0,32), overlapping
+    let meta = r.cap_meta_at(buf.addr());
+    assert!(meta.tag && meta.ghost.tag_unspecified);
+    let loaded = r.load_ptr(&buf).unwrap();
+    expect_ub(r.store_int(&loaded, 4, &IntVal::Num(1)), Ub::CheriUndefinedTag);
+
+    let mut h = hardware();
+    let x = h.allocate_object("x", 4, 4, false, Some(&[0; 4])).unwrap();
+    let buf = h.allocate_object("buf", 48, 16, false, Some(&[0; 48])).unwrap();
+    let mid = h.array_shift(&buf, 1, 16).unwrap();
+    h.store_ptr(&mid, &x).unwrap();
+    h.memcpy(&buf, &mid, 32).unwrap();
+    assert!(!h.cap_meta_at(buf.addr()).tag, "hardware cleared the tag");
+}
