@@ -12,7 +12,8 @@
 
 use std::fmt::Write as _;
 
-use cheri_core::{run, Outcome, Profile};
+use cheri_core::{run, run_traced, Outcome, Profile};
+use cheri_obs::{binfmt, DiffMode};
 
 use crate::progen::{generate_traced, shrink_program, TracedProgram};
 
@@ -34,6 +35,10 @@ pub struct Divergence {
     pub minimal: TracedProgram,
     /// Statement count before shrinking.
     pub original_stmts: usize,
+    /// First event-level divergence of the minimal program against the
+    /// cerberus reference (normalized addresses); `None` when the event
+    /// streams agree and only the final outcome differs.
+    pub event_diff: Option<String>,
 }
 
 /// Aggregate result of running a seed block.
@@ -94,6 +99,36 @@ fn check_buggy(seed: u64, profiles: &[Profile], stats: &mut CorpusStats) -> Vec<
     out
 }
 
+/// Event-level view of a divergence: run the minimal reproducer under the
+/// cerberus reference and the diverging profile, and diff the two typed
+/// event streams in allocation-relative coordinates. When the
+/// `CHERI_OBS_TRACE_DIR` environment variable is set, both sides' binary
+/// (CHOB) traces are also written there — CI uploads them as artifacts on
+/// corpus failure so a divergence can be replayed without re-running.
+fn event_level_diff(
+    seed: u64,
+    buggy: bool,
+    profile: &Profile,
+    minimal: &TracedProgram,
+) -> Option<String> {
+    let src = minimal.source();
+    let (_, oracle_events) = run_traced(&src, &Profile::cerberus());
+    let (_, profile_events) = run_traced(&src, profile);
+    if let Ok(dir) = std::env::var("CHERI_OBS_TRACE_DIR") {
+        let family = if buggy { "buggy" } else { "defined" };
+        let stem = format!("seed-{seed}-{family}-{}", profile.name);
+        let _ = std::fs::create_dir_all(&dir);
+        for (side, events) in [("oracle", &oracle_events), ("profile", &profile_events)] {
+            let path = format!("{dir}/{stem}.{side}.chob");
+            if let Err(e) = std::fs::write(&path, binfmt::encode_trace(events)) {
+                eprintln!("warning: cannot write {path}: {e}");
+            }
+        }
+    }
+    cheri_obs::diff(&oracle_events, &profile_events, DiffMode::Normalized, 3)
+        .map(|d| cheri_obs::render_diff(&d))
+}
+
 /// Shrink a diverging program to a minimal reproducer under `profile`.
 ///
 /// For the well-defined family, a candidate "still fails" when the profile's
@@ -123,6 +158,7 @@ fn shrink_divergence(
         Some(code) => format!("exit {code}"),
         None => "safety stop (no internal error)".to_string(),
     };
+    let event_diff = event_level_diff(seed, buggy, profile, &minimal);
     Divergence {
         seed,
         buggy,
@@ -131,6 +167,7 @@ fn shrink_divergence(
         got: got.to_string(),
         minimal,
         original_stmts: prog.stmts.len(),
+        event_diff,
     }
 }
 
@@ -168,6 +205,20 @@ pub fn render_divergence(d: &Divergence) -> String {
     );
     for line in d.minimal.source().lines() {
         let _ = writeln!(s, "    {line}");
+    }
+    match &d.event_diff {
+        Some(diff) => {
+            let _ = writeln!(s, "  event-level diff vs cerberus (normalized addresses):");
+            for line in diff.lines() {
+                let _ = writeln!(s, "    {line}");
+            }
+        }
+        None => {
+            let _ = writeln!(
+                s,
+                "  event streams agree with cerberus; divergence is in the outcome only"
+            );
+        }
     }
     let _ = writeln!(s, "  replay: cargo run -p cheri-bench --bin oracle_fuzz -- 1 {}", d.seed);
     let _ = writeln!(s, "  ready-to-paste regression (crates/testsuite/src/regressions.rs):");

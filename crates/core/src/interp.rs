@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use cheri_cap::{Capability, GhostState, Perms};
-use cheri_mem::{AllocKind, CheriMemory, IntVal, MemError, Provenance, PtrVal, Ub};
+use cheri_mem::{AllocKind, CheriMemory, IntVal, MemError, MemEvent, Provenance, PtrVal, Ub};
 
 use crate::ast::{BinOp, UnOp};
 use crate::profile::Profile;
@@ -167,11 +167,32 @@ impl<'p, C: Capability> Interp<'p, C> {
         self.run_with_trace().0
     }
 
-    /// Like [`Interp::run`], returning the memory-event trace as well
-    /// (empty unless [`CheriMemory::enable_trace`] was called on
-    /// [`Interp::mem`] first). The trace is what makes the executable
-    /// semantics usable as a test oracle (§7).
+    /// Like [`Interp::run`], returning the memory-event trace rendered in
+    /// the legacy text format (empty unless [`CheriMemory::enable_trace`]
+    /// was called on [`Interp::mem`] first). The trace is what makes the
+    /// executable semantics usable as a test oracle (§7).
     pub fn run_with_trace(mut self) -> (RunResult, Vec<String>) {
+        let outcome = self.run_to_outcome();
+        let trace = self.mem.take_trace();
+        (self.into_result(outcome), trace)
+    }
+
+    /// Like [`Interp::run`], returning the typed memory-event stream.
+    /// Installs a collecting sink if none is present; a terminal
+    /// [`MemEvent::Exit`]/[`MemEvent::Ub`]/[`MemEvent::Trap`] event closes
+    /// the stream, so two profiles' streams can be diffed end to end with
+    /// [`cheri_obs::diff`].
+    pub fn run_with_events(mut self) -> (RunResult, Vec<MemEvent>) {
+        if !self.mem.sink_active() {
+            self.mem.enable_trace();
+        }
+        let outcome = self.run_to_outcome();
+        let events = self.mem.take_events();
+        (self.into_result(outcome), events)
+    }
+
+    /// Run to completion and emit the terminal event into the sink.
+    fn run_to_outcome(&mut self) -> Outcome {
         let outcome = match self.run_inner() {
             Ok(code) => Outcome::Exit(code),
             Err(Stop::Mem(e)) => e.into(),
@@ -180,17 +201,34 @@ impl<'p, C: Capability> Interp<'p, C> {
             Err(Stop::Exit(c)) => Outcome::Exit(c),
             Err(Stop::Limit(m)) | Err(Stop::Unsupported(m)) => Outcome::Error(m),
         };
-        let trace = self.mem.take_trace();
-        (
-            RunResult {
-                outcome,
-                stdout: self.stdout,
-                stderr: self.stderr,
-                unspecified_reads: self.unspecified_reads,
-                mem_stats: self.mem.stats,
-            },
-            trace,
-        )
+        match &outcome {
+            Outcome::Exit(c) => {
+                let c = *c;
+                self.mem.emit(|| MemEvent::Exit(c));
+            }
+            Outcome::Ub { ub, .. } => {
+                let ub = *ub;
+                self.mem.emit(|| MemEvent::Ub(ub));
+            }
+            Outcome::Trap { kind, .. } => {
+                let kind = *kind;
+                self.mem.emit(|| MemEvent::Trap(kind));
+            }
+            // Assertion failures, aborts and interpreter errors have no
+            // memory-event counterpart; the stream just ends.
+            Outcome::AssertFailed(_) | Outcome::Abort | Outcome::Error(_) => {}
+        }
+        outcome
+    }
+
+    fn into_result(self, outcome: Outcome) -> RunResult {
+        RunResult {
+            outcome,
+            stdout: self.stdout,
+            stderr: self.stderr,
+            unspecified_reads: self.unspecified_reads,
+            mem_stats: self.mem.stats,
+        }
     }
 
     fn run_inner(&mut self) -> EResult<i64> {

@@ -99,5 +99,25 @@ pub fn run_with<C: Capability>(src: &str, profile: &Profile) -> RunResult {
     }
 }
 
+/// [`run`] returning the typed memory-event stream as well (with a
+/// terminal exit/UB/trap event), for trace diffing and analysis. Front-end
+/// errors are reported as [`Outcome::Error`] with an empty stream.
+#[must_use]
+pub fn run_traced(src: &str, profile: &Profile) -> (RunResult, Vec<cheri_mem::MemEvent>) {
+    match compile_for::<MorelloCap>(src, profile) {
+        Ok(prog) => Interp::<MorelloCap>::new(&prog, profile).run_with_events(),
+        Err(msg) => (
+            RunResult {
+                outcome: Outcome::Error(msg),
+                stdout: String::new(),
+                stderr: String::new(),
+                unspecified_reads: 0,
+                mem_stats: cheri_mem::MemStats::default(),
+            },
+            Vec::new(),
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests;

@@ -22,6 +22,10 @@
 use std::collections::BTreeMap;
 
 use cheri_cap::{Capability, GhostState, Perms};
+use cheri_obs::sink::EventSink;
+use cheri_obs::{
+    AllocClass, MemEvent, Name, SinkHandle, TagClearReason, VecSink, TAG_CLEAR_REASONS,
+};
 
 use crate::absbyte::{recover_provenance, AbsByte};
 use crate::allocation::{AllocKind, Allocation};
@@ -131,7 +135,7 @@ impl Default for MemConfig {
     }
 }
 
-/// Operation counters, for the benchmark harness.
+/// Operation counters, for the benchmark harness and `cheri-c --stats`.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct MemStats {
     /// Number of scalar loads performed.
@@ -147,6 +151,16 @@ pub struct MemStats {
     /// Number of stored capabilities whose tag a revocation sweep cleared
     /// (§7 temporal-safety extension).
     pub revoked_caps: u64,
+    /// Number of allocation lifetime ends (scope exits and `free`).
+    pub frees: u64,
+    /// Total bytes moved by `memcpy`/`memmove`.
+    pub memcpy_bytes: u64,
+    /// Total capability slots whose tag was cleared or marked unspecified
+    /// (sum over all reasons, including revocation).
+    pub tag_clears: u64,
+    /// `tag_clears` broken down by [`TagClearReason`], indexed by
+    /// `TagClearReason::code()`.
+    pub tag_clears_by_reason: [u64; TAG_CLEAR_REASONS],
 }
 
 /// Which kind of access a check is for.
@@ -154,6 +168,18 @@ pub struct MemStats {
 enum Access {
     Load,
     Store,
+}
+
+/// [`AllocKind`] → the event vocabulary's [`AllocClass`] (same variants;
+/// `cheri-obs` keeps its own copy to stay a leaf crate).
+fn alloc_class(kind: AllocKind) -> AllocClass {
+    match kind {
+        AllocKind::Auto => AllocClass::Auto,
+        AllocKind::Static => AllocClass::Static,
+        AllocKind::Heap => AllocClass::Heap,
+        AllocKind::Function => AllocClass::Function,
+        AllocKind::StringLiteral => AllocClass::StringLiteral,
+    }
 }
 
 /// The memory object model.
@@ -205,7 +231,9 @@ pub struct CheriMemory<C: Capability> {
     globals_ptr: u64,
     /// Operation counters.
     pub stats: MemStats,
-    trace: Option<Vec<String>>,
+    /// Event-sink slot: when empty, emitting costs one branch and events
+    /// are never constructed (`cheri-obs`' zero-cost-when-off contract).
+    sink: SinkHandle,
     _cap: std::marker::PhantomData<C>,
 }
 
@@ -230,31 +258,56 @@ impl<C: Capability> CheriMemory<C> {
             heap_ptr: cfg.layout.heap_base,
             globals_ptr: cfg.layout.globals_base,
             stats: MemStats::default(),
-            trace: None,
+            sink: SinkHandle::none(),
             _cap: std::marker::PhantomData,
         }
     }
 
-    /// Enable memory-event tracing: every allocation, lifetime end, load
-    /// and store is recorded as a line. Supports using the executable
+    /// Enable memory-event tracing: every observable action is recorded as
+    /// a typed [`MemEvent`] in a [`VecSink`]. Supports using the executable
     /// semantics as a test oracle (§7 of the paper).
     pub fn enable_trace(&mut self) {
-        self.trace = Some(Vec::new());
+        self.sink.install(Box::new(VecSink::new()));
     }
 
-    /// Take the recorded trace, leaving tracing enabled.
+    /// Take the recorded trace rendered as the legacy text lines (the
+    /// historical `--trace` format, byte for byte), leaving tracing
+    /// enabled. Empty if no [`VecSink`] is installed.
     pub fn take_trace(&mut self) -> Vec<String> {
-        match &mut self.trace {
-            Some(t) => std::mem::take(t),
+        cheri_obs::render::legacy_lines(&self.take_events())
+    }
+
+    /// Take the recorded typed events, leaving tracing enabled. Empty if
+    /// no [`VecSink`] is installed.
+    pub fn take_events(&mut self) -> Vec<MemEvent> {
+        match self.sink.downcast_mut::<VecSink>() {
+            Some(v) => std::mem::take(&mut v.events),
             None => Vec::new(),
         }
     }
 
+    /// Install an arbitrary event sink (replacing any existing one, which
+    /// is returned). See [`cheri_obs::sink`] for the stock sinks.
+    pub fn set_sink(&mut self, sink: Box<dyn EventSink>) -> Option<Box<dyn EventSink>> {
+        self.sink.install(sink)
+    }
+
+    /// Remove and return the installed event sink.
+    pub fn take_sink(&mut self) -> Option<Box<dyn EventSink>> {
+        self.sink.take()
+    }
+
+    /// Is an event sink installed?
+    #[must_use]
+    pub fn sink_active(&self) -> bool {
+        self.sink.is_active()
+    }
+
+    /// Emit an event into the installed sink, if any. The closure runs only
+    /// when a sink is installed — this is the zero-cost-when-off path.
     #[inline]
-    fn tr(&mut self, f: impl FnOnce() -> String) {
-        if let Some(t) = &mut self.trace {
-            t.push(f());
-        }
+    pub fn emit(&mut self, f: impl FnOnce() -> MemEvent) {
+        self.sink.emit_with(f);
     }
 
     /// The configuration this instance runs with.
@@ -382,6 +435,11 @@ impl<C: Capability> CheriMemory<C> {
             let repr_align = (!mask).wrapping_add(1).max(1);
             let reserved = C::representable_length(size).max(size.max(1));
             self.stats.padding_bytes += reserved - size;
+            self.emit(|| MemEvent::RepCheck {
+                size,
+                reserved,
+                padded: reserved != size,
+            });
             (align.max(repr_align), reserved)
         } else {
             (align, size.max(1))
@@ -424,7 +482,13 @@ impl<C: Capability> CheriMemory<C> {
         let pos = self.index.partition_point(|e| e.0 < base);
         self.index.insert(pos, (base, base + reserved, id));
         self.stats.allocations += 1;
-        self.tr(|| format!("create {id} '{prefix}' [{base:#x},+{size}) {kind:?}"));
+        self.emit(|| MemEvent::Alloc {
+            id: id.0,
+            base,
+            size,
+            kind: alloc_class(kind),
+            name: Name::new(prefix),
+        });
         if let Some(init) = init {
             debug_assert_eq!(init.len() as u64, size);
             if self.cfg.legacy_store {
@@ -492,7 +556,13 @@ impl<C: Capability> CheriMemory<C> {
             }
         }
         let (base, end) = (alloc.base, alloc.base + alloc.reserved_size);
-        self.tr(|| format!("kill {id} [{base:#x},{end:#x}) dynamic={dynamic}"));
+        self.stats.frees += 1;
+        self.emit(|| MemEvent::Free {
+            id: id.0,
+            base,
+            end,
+            dynamic,
+        });
         let alloc = self.allocations.get_mut(&id).expect("checked above");
         alloc.alive = false;
         if self.cfg.abstract_ub {
@@ -537,6 +607,22 @@ impl<C: Capability> CheriMemory<C> {
     /// base-membership test would let it escape the sweep and stay usable
     /// after `free`.
     fn revoke_range(&mut self, lo: u64, hi: u64) {
+        let before = self.stats.revoked_caps;
+        self.revoke_range_sweep(lo, hi);
+        let cleared = self.stats.revoked_caps - before;
+        if cleared > 0 {
+            self.stats.tag_clears += cleared;
+            self.stats.tag_clears_by_reason[TagClearReason::Revoked.code() as usize] += cleared;
+        }
+        self.emit(|| MemEvent::Revoke {
+            base: lo,
+            end: hi,
+            cleared,
+        });
+    }
+
+    /// The sweep itself (increments `stats.revoked_caps` per hit).
+    fn revoke_range_sweep(&mut self, lo: u64, hi: u64) {
         let cb = C::CAP_BYTES as u64;
         let overlaps = |cap: &C| {
             let b = cap.bounds();
@@ -1005,17 +1091,39 @@ impl<C: Capability> CheriMemory<C> {
 
     /// Invalidate every capability slot whose footprint overlaps `[lo, hi)`
     /// (§4.3 non-capability write rule), mirroring
-    /// [`CapMeta::invalidate_range`] exactly.
-    fn caps_invalidate(&mut self, lo: u64, hi: u64) {
+    /// [`CapMeta::invalidate_range`] exactly. `reason` attributes the
+    /// clears in the stats histogram and the emitted event; both storage
+    /// modes count affected slots with the same condition, so the counters
+    /// are store-mode invariant.
+    fn caps_invalidate(&mut self, lo: u64, hi: u64, reason: TagClearReason) {
         let cb = C::CAP_BYTES as u64;
         let mode = self.cfg.tag_invalidation;
-        if self.cfg.legacy_store {
-            self.caps.invalidate_range(lo, hi, cb, mode);
-            return;
+        let affected = if self.cfg.legacy_store {
+            self.caps.invalidate_range(lo, hi, cb, mode)
+        } else {
+            self.caps_invalidate_flat(lo, hi)
+        };
+        if affected > 0 {
+            self.stats.tag_clears += affected as u64;
+            self.stats.tag_clears_by_reason[reason.code() as usize] += affected as u64;
+            self.emit(|| MemEvent::CapTagClear {
+                addr: lo,
+                count: affected as u64,
+                reason,
+            });
         }
+    }
+
+    /// Flat-store body of [`CheriMemory::caps_invalidate`]; returns the
+    /// number of slots affected (same counting rule as
+    /// [`CapMeta::invalidate_range`]).
+    fn caps_invalidate_flat(&mut self, lo: u64, hi: u64) -> usize {
+        let cb = C::CAP_BYTES as u64;
+        let mode = self.cfg.tag_invalidation;
         if hi <= lo {
-            return;
+            return 0;
         }
+        let mut affected = 0;
         let first = lo & !(cb - 1);
         let mut pos = self.index.partition_point(|e| e.1 <= first);
         while pos < self.index.len() && self.index[pos].0 < hi {
@@ -1034,6 +1142,7 @@ impl<C: Capability> CheriMemory<C> {
                 for k in k_lo..k_hi {
                     let m = a.slots.get(k as usize);
                     if m.tag || !m.ghost.is_clean() {
+                        affected += 1;
                         let new = match mode {
                             TagInvalidation::Ghost => SlotMeta {
                                 tag: m.tag,
@@ -1051,8 +1160,9 @@ impl<C: Capability> CheriMemory<C> {
             pos += 1;
         }
         if !self.spill_caps.is_empty() {
-            self.spill_caps.invalidate_range(lo, hi, cb, mode);
+            affected += self.spill_caps.invalidate_range(lo, hi, cb, mode);
         }
+        affected
     }
 
     fn write_data_bytes(&mut self, addr: u64, data: &[u8]) {
@@ -1087,7 +1197,7 @@ impl<C: Capability> CheriMemory<C> {
                 }
             }
         }
-        self.caps_invalidate(addr, addr + data.len() as u64);
+        self.caps_invalidate(addr, addr + data.len() as u64, TagClearReason::NonCapWrite);
         self.stats.stores += 1;
     }
 
@@ -1098,7 +1208,7 @@ impl<C: Capability> CheriMemory<C> {
         // The copy is a (possibly partial) representation write to the
         // destination: any capability whose slot it touches is invalidated…
         let cb = C::CAP_BYTES as u64;
-        self.caps_invalidate(dst, dst + n);
+        self.caps_invalidate(dst, dst + n, TagClearReason::Memcpy);
         // …and then capability-aligned, fully-copied slots get the source
         // metadata transferred (§3.5: memcpy uses capability-sized accesses
         // where possible, preserving tags).
@@ -1161,7 +1271,11 @@ impl<C: Capability> CheriMemory<C> {
             ));
         }
         self.stats.loads += 1;
-        self.tr(|| format!("load {addr:#x} size={size} intptr={want_intptr}"));
+        self.emit(|| MemEvent::Load {
+            addr,
+            size,
+            intptr: want_intptr,
+        });
         let raw: Vec<u8> = bytes.iter().map(|b| b.value.unwrap_or(0)).collect();
         if want_intptr && self.cfg.capabilities && size == C::CAP_BYTES as u64 {
             let prov = recover_provenance(&bytes);
@@ -1205,7 +1319,7 @@ impl<C: Capability> CheriMemory<C> {
     pub fn store_int(&mut self, p: &PtrVal<C>, size: u64, v: &IntVal<C>) -> MemResult<()> {
         self.check_access(p, size, Access::Store)?;
         let addr = p.addr();
-        self.tr(|| format!("store {addr:#x} size={size}"));
+        self.emit(|| MemEvent::Store { addr, size });
         match v {
             IntVal::Cap { cap, prov, .. }
                 if self.cfg.capabilities && size == C::CAP_BYTES as u64 =>
@@ -1307,7 +1421,7 @@ impl<C: Capability> CheriMemory<C> {
             );
         } else {
             // Misaligned capability store: the tag cannot be represented.
-            self.caps_invalidate(addr, addr + cb);
+            self.caps_invalidate(addr, addr + cb, TagClearReason::MisalignedStore);
         }
         self.stats.stores += 1;
         Ok(())
@@ -1330,7 +1444,12 @@ impl<C: Capability> CheriMemory<C> {
         self.check_access(src, n, Access::Load)?;
         self.check_access(dst, n, Access::Store)?;
         let (s_addr, d_addr) = (src.addr(), dst.addr());
-        self.tr(|| format!("memcpy {d_addr:#x} <- {s_addr:#x} n={n}"));
+        self.stats.memcpy_bytes += n;
+        self.emit(|| MemEvent::Memcpy {
+            dst: d_addr,
+            src: s_addr,
+            n,
+        });
         self.copy_bytes_raw(s_addr, d_addr, n);
         Ok(())
     }
@@ -1418,7 +1537,13 @@ impl<C: Capability> CheriMemory<C> {
             }
         }
         self.stats.representability_checks += 1;
-        Ok(PtrVal::new(p.prov, p.cap.with_address(new_addr)))
+        let cap = p.cap.with_address(new_addr);
+        self.emit(|| MemEvent::CapDerive {
+            from: p.addr(),
+            to: new_addr,
+            tag_cleared: p.cap.tag() && !cap.tag(),
+        });
+        Ok(PtrVal::new(p.prov, cap))
     }
 
     /// Pointer + byte offset for struct member access; stays within the

@@ -45,6 +45,10 @@ pub use provenance::{AllocId, IotaId, IotaState, Provenance};
 pub use ub::{MemError, MemResult, TrapKind, Ub};
 pub use value::{IntVal, MemVal, PtrVal};
 
+// Re-exported observability vocabulary (the types `CheriMemory` emits);
+// see the `cheri-obs` crate for sinks, renderers, binary traces, diffing.
+pub use cheri_obs::{AllocClass, EventKind, MemEvent, TagClearReason};
+
 /// The baseline ISO C memory model: [`CheriMemory`] in non-capability mode.
 ///
 /// The capability type parameter is still needed as the address-width

@@ -1,147 +1,16 @@
-//! Undefined behaviours.
+//! Undefined behaviours and the memory-model error monad.
 //!
 //! §4.2 of the paper: CHERI C adds four new undefined behaviours to ISO C's
-//! catalogue, and the executable semantics flags the ISO ones too. The enum
-//! below covers the CHERI UBs verbatim plus every ISO UB the memory object
-//! model and the test suite exercise.
+//! catalogue, and the executable semantics flags the ISO ones too. The
+//! [`Ub`] and [`TrapKind`] taxonomies themselves live in `cheri-obs` (so
+//! trace events can carry them without a dependency cycle) and are
+//! re-exported here under their historical paths; this module keeps the
+//! error monad ([`MemError`], [`MemResult`]) that threads them through the
+//! memory model's operations.
 
 use std::fmt;
 
-/// An undefined behaviour detected by the abstract machine.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[non_exhaustive]
-pub enum Ub {
-    // ── CHERI-specific UBs (§4.2) ────────────────────────────────────────
-    /// Dereference of a pointer whose capability tag is cleared.
-    CheriInvalidCap,
-    /// Dereference of a pointer whose capability tag is *unspecified* in the
-    /// ghost state (after a representation write or a non-representable
-    /// `(u)intptr_t` excursion).
-    CheriUndefinedTag,
-    /// Memory access via a capability lacking the permission for the
-    /// operation.
-    CheriInsufficientPermissions,
-    /// Dereference of an out-of-bounds pointer.
-    CheriBoundsViolation,
-    /// ISO C UB012: reading an lvalue whose stored representation is a trap
-    /// representation — flagged when decoding a stored capability fails.
-    LvalueReadTrapRepresentation,
-
-    // ── ISO C memory-object UBs ──────────────────────────────────────────
-    /// Access outside the footprint of the allocation identified by the
-    /// pointer's provenance.
-    AccessOutOfBounds,
-    /// Access to an allocation whose lifetime has ended (temporal error).
-    AccessDeadAllocation,
-    /// Pointer arithmetic producing a value below, or more than one past,
-    /// the allocation (ISO 6.5.6p8; §3.2 option (a) keeps this rule for
-    /// CHERI C).
-    OutOfBoundPtrArithmetic,
-    /// `free`/`realloc` of a pointer that is not the start of a live
-    /// heap allocation.
-    FreeInvalidPointer,
-    /// `free` of an allocation already freed.
-    DoubleFree,
-    /// Subtraction of pointers with different provenance.
-    PtrDiffDifferentProvenance,
-    /// Relational comparison (`<`, `<=`, `>`, `>=`) of pointers with
-    /// different provenance.
-    RelationalCompareDifferentProvenance,
-    /// Read of an uninitialised object.
-    UninitialisedRead,
-    /// Read through a pointer with empty provenance (no live allocation
-    /// matches).
-    EmptyProvenanceAccess,
-    /// Write to an object declared with a `const`-qualified type, or through
-    /// a capability for read-only data (§3.9).
-    WriteToReadOnly,
-    /// Dereference of a null pointer.
-    NullDereference,
-    /// Signed integer overflow.
-    SignedOverflow,
-    /// Integer division or remainder by zero.
-    DivisionByZero,
-    /// Shift amount negative or at least the width of the type.
-    ShiftOutOfRange,
-    /// Misaligned scalar access.
-    MisalignedAccess,
-    /// Use of an indeterminate (`iota`) provenance pointer in a way that
-    /// cannot be disambiguated (PNVI-ae-udi).
-    AmbiguousProvenance,
-}
-
-impl Ub {
-    /// Is this one of the UBs CHERI C adds over ISO C (§4.2)?
-    #[must_use]
-    pub fn is_cheri(self) -> bool {
-        matches!(
-            self,
-            Ub::CheriInvalidCap
-                | Ub::CheriUndefinedTag
-                | Ub::CheriInsufficientPermissions
-                | Ub::CheriBoundsViolation
-        )
-    }
-
-    /// The identifier used in the paper / Cerberus output.
-    #[must_use]
-    pub fn name(self) -> &'static str {
-        match self {
-            Ub::CheriInvalidCap => "UB_CHERI_InvalidCap",
-            Ub::CheriUndefinedTag => "UB_CHERI_UndefinedTag",
-            Ub::CheriInsufficientPermissions => "UB_CHERI_InsufficientPermissions",
-            Ub::CheriBoundsViolation => "UB_CHERI_BoundsViolation",
-            Ub::LvalueReadTrapRepresentation => "UB012_lvalue_read_trap_representation",
-            Ub::AccessOutOfBounds => "UB_access_out_of_bounds",
-            Ub::AccessDeadAllocation => "UB_access_dead_allocation",
-            Ub::OutOfBoundPtrArithmetic => "UB046_out_of_bounds_pointer_arithmetic",
-            Ub::FreeInvalidPointer => "UB_free_invalid_pointer",
-            Ub::DoubleFree => "UB_double_free",
-            Ub::PtrDiffDifferentProvenance => "UB048_ptrdiff_different_provenance",
-            Ub::RelationalCompareDifferentProvenance => "UB053_relational_different_provenance",
-            Ub::UninitialisedRead => "UB_uninitialised_read",
-            Ub::EmptyProvenanceAccess => "UB_empty_provenance_access",
-            Ub::WriteToReadOnly => "UB033_write_to_read_only",
-            Ub::NullDereference => "UB_null_dereference",
-            Ub::SignedOverflow => "UB036_signed_overflow",
-            Ub::DivisionByZero => "UB045_division_by_zero",
-            Ub::ShiftOutOfRange => "UB051_shift_out_of_range",
-            Ub::MisalignedAccess => "UB_misaligned_access",
-            Ub::AmbiguousProvenance => "UB_ambiguous_provenance",
-        }
-    }
-}
-
-impl fmt::Display for Ub {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
-    }
-}
-
-/// A hardware trap, as raised by a CHERI machine when a capability check
-/// fails at access time (§2.1: "such an access triggers a synchronous data
-/// abort exception"). The implementation-emulation profiles report these
-/// instead of abstract-machine UB.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub enum TrapKind {
-    /// Capability tag clear (or sealed) at access.
-    TagViolation,
-    /// Access outside the capability bounds.
-    BoundsViolation,
-    /// Missing permission for the access.
-    PermissionViolation,
-}
-
-impl fmt::Display for TrapKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let msg = match self {
-            TrapKind::TagViolation => "capability tag fault",
-            TrapKind::BoundsViolation => "capability bounds fault",
-            TrapKind::PermissionViolation => "capability permission fault",
-        };
-        f.write_str(msg)
-    }
-}
+pub use cheri_obs::kinds::{TrapKind, Ub};
 
 /// Error type of all memory-model operations (the `memM` monad of §4.3:
 /// state threading is Rust `&mut self`, the error component is this enum).

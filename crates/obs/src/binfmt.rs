@@ -1,0 +1,481 @@
+//! The `CHOB` compact binary trace format.
+//!
+//! Layout: a 5-byte header (`b"CHOB"` magic + one version byte), then a
+//! sequence of events until end of stream — there is deliberately *no*
+//! event-count field, so a streaming writer never needs to seek back and a
+//! truncated trace (a run that stopped mid-way) is still readable up to the
+//! truncation point.
+//!
+//! Each event is one tag byte ([`EventKind::code`]) followed by its fields:
+//! `u64`s as LEB128 varints, `i64`s zigzag-then-varint, `bool`s as one byte
+//! (0/1), enums as their stable one-byte codes, and names as a varint byte
+//! length followed by UTF-8 bytes. The format is self-describing in the
+//! sense that version 1 readers reject anything they cannot decode loudly
+//! rather than misparse it.
+
+use std::io::{self, Read, Write};
+
+use crate::event::{AllocClass, EventKind, MemEvent, Name, TagClearReason};
+use crate::kinds::{TrapKind, Ub};
+
+/// File magic: the first four bytes of every trace.
+pub const MAGIC: [u8; 4] = *b"CHOB";
+
+/// Current format version (one byte after the magic).
+pub const VERSION: u8 = 1;
+
+// ── varint primitives ────────────────────────────────────────────────────
+
+/// Append `v` as an LEB128 varint.
+pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append `v` zigzag-encoded as an LEB128 varint.
+pub fn put_ivarint(out: &mut Vec<u8>, v: i64) {
+    put_uvarint(out, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+/// Decode an LEB128 varint from the reader.
+///
+/// # Errors
+/// `UnexpectedEof` on a truncated varint; `InvalidData` on one longer than
+/// 10 bytes (not representable in a `u64`).
+pub fn read_uvarint(r: &mut impl Read) -> io::Result<u64> {
+    let mut v: u64 = 0;
+    for shift in (0..64).step_by(7) {
+        let byte = read_u8(r)?;
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            if shift == 63 && byte > 1 {
+                return Err(bad("varint overflows u64"));
+            }
+            return Ok(v);
+        }
+    }
+    Err(bad("varint longer than 10 bytes"))
+}
+
+/// Decode a zigzag varint.
+///
+/// # Errors
+/// As [`read_uvarint`].
+pub fn read_ivarint(r: &mut impl Read) -> io::Result<i64> {
+    let z = read_uvarint(r)?;
+    Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+}
+
+fn read_u8(r: &mut impl Read) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("CHOB: {msg}"))
+}
+
+// ── event encode / decode ────────────────────────────────────────────────
+
+/// Append one encoded event (tag byte + fields) to `out`.
+pub fn encode_event(ev: &MemEvent, out: &mut Vec<u8>) {
+    out.push(ev.kind().code());
+    match ev {
+        MemEvent::Alloc {
+            id,
+            base,
+            size,
+            kind,
+            name,
+        } => {
+            put_uvarint(out, *id);
+            put_uvarint(out, *base);
+            put_uvarint(out, *size);
+            out.push(kind.code());
+            let s = name.as_str();
+            put_uvarint(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        MemEvent::Free {
+            id,
+            base,
+            end,
+            dynamic,
+        } => {
+            put_uvarint(out, *id);
+            put_uvarint(out, *base);
+            put_uvarint(out, *end);
+            out.push(u8::from(*dynamic));
+        }
+        MemEvent::Load { addr, size, intptr } => {
+            put_uvarint(out, *addr);
+            put_uvarint(out, *size);
+            out.push(u8::from(*intptr));
+        }
+        MemEvent::Store { addr, size } => {
+            put_uvarint(out, *addr);
+            put_uvarint(out, *size);
+        }
+        MemEvent::Memcpy { dst, src, n } => {
+            put_uvarint(out, *dst);
+            put_uvarint(out, *src);
+            put_uvarint(out, *n);
+        }
+        MemEvent::CapDerive {
+            from,
+            to,
+            tag_cleared,
+        } => {
+            put_uvarint(out, *from);
+            put_uvarint(out, *to);
+            out.push(u8::from(*tag_cleared));
+        }
+        MemEvent::CapTagClear {
+            addr,
+            count,
+            reason,
+        } => {
+            put_uvarint(out, *addr);
+            put_uvarint(out, *count);
+            out.push(reason.code());
+        }
+        MemEvent::RepCheck {
+            size,
+            reserved,
+            padded,
+        } => {
+            put_uvarint(out, *size);
+            put_uvarint(out, *reserved);
+            out.push(u8::from(*padded));
+        }
+        MemEvent::Revoke { base, end, cleared } => {
+            put_uvarint(out, *base);
+            put_uvarint(out, *end);
+            put_uvarint(out, *cleared);
+        }
+        MemEvent::Ub(ub) => out.push(ub.code()),
+        MemEvent::Trap(t) => out.push(t.code()),
+        MemEvent::Exit(status) => put_ivarint(out, *status),
+    }
+}
+
+fn read_bool(r: &mut impl Read) -> io::Result<bool> {
+    match read_u8(r)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        b => Err(bad(&format!("bad bool byte {b:#x}"))),
+    }
+}
+
+fn read_name(r: &mut impl Read) -> io::Result<Name> {
+    let len = read_uvarint(r)?;
+    if len > 1 << 20 {
+        return Err(bad("name longer than 1 MiB"));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    let s = String::from_utf8(buf).map_err(|_| bad("name is not UTF-8"))?;
+    Ok(Name::new(&s))
+}
+
+/// Decode one event from the reader; `Ok(None)` at a clean end of stream.
+///
+/// # Errors
+/// `InvalidData` on unknown tag/enum codes or malformed fields;
+/// `UnexpectedEof` on truncation inside an event.
+pub fn decode_event(r: &mut impl Read) -> io::Result<Option<MemEvent>> {
+    let mut tag = [0u8; 1];
+    match r.read(&mut tag)? {
+        0 => return Ok(None),
+        1 => {}
+        _ => unreachable!("read of 1-byte buffer"),
+    }
+    let kind = EventKind::from_code(tag[0])
+        .ok_or_else(|| bad(&format!("unknown event tag {:#x}", tag[0])))?;
+    let ev = match kind {
+        EventKind::Alloc => {
+            let id = read_uvarint(r)?;
+            let base = read_uvarint(r)?;
+            let size = read_uvarint(r)?;
+            let kc = read_u8(r)?;
+            let kind = AllocClass::from_code(kc)
+                .ok_or_else(|| bad(&format!("unknown alloc class {kc:#x}")))?;
+            let name = read_name(r)?;
+            MemEvent::Alloc {
+                id,
+                base,
+                size,
+                kind,
+                name,
+            }
+        }
+        EventKind::Free => MemEvent::Free {
+            id: read_uvarint(r)?,
+            base: read_uvarint(r)?,
+            end: read_uvarint(r)?,
+            dynamic: read_bool(r)?,
+        },
+        EventKind::Load => MemEvent::Load {
+            addr: read_uvarint(r)?,
+            size: read_uvarint(r)?,
+            intptr: read_bool(r)?,
+        },
+        EventKind::Store => MemEvent::Store {
+            addr: read_uvarint(r)?,
+            size: read_uvarint(r)?,
+        },
+        EventKind::Memcpy => MemEvent::Memcpy {
+            dst: read_uvarint(r)?,
+            src: read_uvarint(r)?,
+            n: read_uvarint(r)?,
+        },
+        EventKind::CapDerive => MemEvent::CapDerive {
+            from: read_uvarint(r)?,
+            to: read_uvarint(r)?,
+            tag_cleared: read_bool(r)?,
+        },
+        EventKind::CapTagClear => {
+            let addr = read_uvarint(r)?;
+            let count = read_uvarint(r)?;
+            let rc = read_u8(r)?;
+            let reason = TagClearReason::from_code(rc)
+                .ok_or_else(|| bad(&format!("unknown tag-clear reason {rc:#x}")))?;
+            MemEvent::CapTagClear {
+                addr,
+                count,
+                reason,
+            }
+        }
+        EventKind::RepCheck => MemEvent::RepCheck {
+            size: read_uvarint(r)?,
+            reserved: read_uvarint(r)?,
+            padded: read_bool(r)?,
+        },
+        EventKind::Revoke => MemEvent::Revoke {
+            base: read_uvarint(r)?,
+            end: read_uvarint(r)?,
+            cleared: read_uvarint(r)?,
+        },
+        EventKind::Ub => {
+            let c = read_u8(r)?;
+            MemEvent::Ub(Ub::from_code(c).ok_or_else(|| bad(&format!("unknown UB code {c:#x}")))?)
+        }
+        EventKind::Trap => {
+            let c = read_u8(r)?;
+            MemEvent::Trap(
+                TrapKind::from_code(c).ok_or_else(|| bad(&format!("unknown trap code {c:#x}")))?,
+            )
+        }
+        EventKind::Exit => MemEvent::Exit(read_ivarint(r)?),
+    };
+    Ok(Some(ev))
+}
+
+// ── whole-trace helpers ──────────────────────────────────────────────────
+
+/// Incremental trace writer: header on construction, one event at a time.
+pub struct TraceWriter<W: Write> {
+    w: W,
+    buf: Vec<u8>,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Wrap `w` and write the `CHOB` header.
+    ///
+    /// # Errors
+    /// Propagates header-write failures.
+    pub fn new(mut w: W) -> io::Result<TraceWriter<W>> {
+        w.write_all(&MAGIC)?;
+        w.write_all(&[VERSION])?;
+        Ok(TraceWriter {
+            w,
+            buf: Vec::with_capacity(64),
+        })
+    }
+
+    /// Encode and write one event.
+    ///
+    /// # Errors
+    /// Propagates writer failures.
+    pub fn write_event(&mut self, ev: &MemEvent) -> io::Result<()> {
+        self.buf.clear();
+        encode_event(ev, &mut self.buf);
+        self.w.write_all(&self.buf)
+    }
+
+    /// Flush the underlying writer.
+    ///
+    /// # Errors
+    /// Propagates writer failures.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.w.flush()
+    }
+
+    /// Unwrap the inner writer.
+    #[must_use]
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+/// Encode a whole event stream to an in-memory buffer (header included).
+#[must_use]
+pub fn encode_trace(events: &[MemEvent]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + events.len() * 8);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    for ev in events {
+        encode_event(ev, &mut out);
+    }
+    out
+}
+
+/// Decode a whole trace (header + events until end of stream).
+///
+/// # Errors
+/// `InvalidData` on a bad magic, unsupported version, or malformed event.
+pub fn decode_trace(r: &mut impl Read) -> io::Result<Vec<MemEvent>> {
+    let mut header = [0u8; 5];
+    r.read_exact(&mut header)
+        .map_err(|_| bad("truncated header"))?;
+    if header[..4] != MAGIC {
+        return Err(bad("bad magic (not a CHOB trace)"));
+    }
+    if header[4] != VERSION {
+        return Err(bad(&format!(
+            "unsupported version {} (reader supports {VERSION})",
+            header[4]
+        )));
+    }
+    let mut out = Vec::new();
+    while let Some(ev) = decode_event(r)? {
+        out.push(ev);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Name;
+
+    #[test]
+    fn varint_roundtrip_edges() {
+        for v in [0u64, 1, 127, 128, 300, u64::from(u32::MAX), u64::MAX] {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            assert_eq!(read_uvarint(&mut buf.as_slice()).unwrap(), v);
+        }
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -4096] {
+            let mut buf = Vec::new();
+            put_ivarint(&mut buf, v);
+            assert_eq!(read_ivarint(&mut buf.as_slice()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn trace_roundtrip_all_variants() {
+        let events = vec![
+            MemEvent::Alloc {
+                id: 1,
+                base: 0x10000,
+                size: 64,
+                kind: AllocClass::Heap,
+                name: Name::new("p"),
+            },
+            MemEvent::RepCheck {
+                size: 64,
+                reserved: 64,
+                padded: false,
+            },
+            MemEvent::Load {
+                addr: 0x10000,
+                size: 8,
+                intptr: true,
+            },
+            MemEvent::Store {
+                addr: 0x10008,
+                size: 4,
+            },
+            MemEvent::Memcpy {
+                dst: 0x10010,
+                src: 0x10000,
+                n: 16,
+            },
+            MemEvent::CapDerive {
+                from: 0x10000,
+                to: 0x10040,
+                tag_cleared: true,
+            },
+            MemEvent::CapTagClear {
+                addr: 0x10000,
+                count: 2,
+                reason: TagClearReason::NonCapWrite,
+            },
+            MemEvent::Revoke {
+                base: 0x10000,
+                end: 0x10040,
+                cleared: 1,
+            },
+            MemEvent::Free {
+                id: 1,
+                base: 0x10000,
+                end: 0x10040,
+                dynamic: true,
+            },
+            MemEvent::Ub(Ub::CheriBoundsViolation),
+            MemEvent::Trap(TrapKind::TagViolation),
+            MemEvent::Exit(-3),
+        ];
+        let bytes = encode_trace(&events);
+        let back = decode_trace(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = decode_trace(&mut &b"NOPE\x01"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let err = decode_trace(&mut &b"CHOB\x02"[..]).unwrap_err();
+        assert!(err.to_string().contains("unsupported version"));
+    }
+
+    #[test]
+    fn truncated_event_is_loud() {
+        let mut bytes = encode_trace(&[MemEvent::Store {
+            addr: 0x10000,
+            size: 4,
+        }]);
+        bytes.truncate(bytes.len() - 1);
+        assert!(decode_trace(&mut bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn writer_streams_equivalently() {
+        let events = vec![
+            MemEvent::Load {
+                addr: 1,
+                size: 2,
+                intptr: false,
+            },
+            MemEvent::Exit(0),
+        ];
+        let mut w = TraceWriter::new(Vec::new()).unwrap();
+        for ev in &events {
+            w.write_event(ev).unwrap();
+        }
+        assert_eq!(w.into_inner(), encode_trace(&events));
+    }
+}

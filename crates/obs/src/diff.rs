@@ -1,0 +1,337 @@
+//! Trace diffing: align two event streams and report the first divergence.
+//!
+//! The interesting artifact of a multi-profile comparison (paper Appendix A)
+//! is *where* behaviours part ways, not just the final outcomes. Two
+//! profiles rarely produce byte-identical traces though — their layout
+//! policies place allocations at different addresses — so the diff engine
+//! supports a [`DiffMode::Normalized`] comparison that rewrites every
+//! address into *(allocation ordinal, offset)* coordinates before
+//! comparing, making streams from different layouts alignable. The first
+//! event whose normalized form differs is reported with a window of
+//! preceding context from each side.
+
+use crate::event::MemEvent;
+
+/// How to compare two events.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DiffMode {
+    /// Compare events verbatim (same profile / same layout).
+    Exact,
+    /// Rewrite addresses into allocation-relative coordinates first, so
+    /// traces from different layout policies align (cross-profile diffing).
+    #[default]
+    Normalized,
+}
+
+/// The first point where two event streams disagree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceDiff {
+    /// Index (into both streams) of the first divergent event.
+    pub index: usize,
+    /// The left stream's event at `index` (`None`: stream ended early).
+    pub left: Option<MemEvent>,
+    /// The right stream's event at `index` (`None`: stream ended early).
+    pub right: Option<MemEvent>,
+    /// Up to `context` events preceding the divergence, from the left
+    /// stream (the streams agree on this prefix under the chosen mode).
+    pub context: Vec<MemEvent>,
+}
+
+/// Rewrites raw addresses into *(allocation ordinal, offset)* coordinates.
+///
+/// Allocations are numbered in stream order; an address inside the *n*-th
+/// live allocation's reserved footprint becomes `n * ALLOC_STRIDE + offset`.
+/// Addresses outside any live allocation are left as-is (they only arise in
+/// wild-pointer events, where the raw value is itself the evidence).
+#[derive(Default, Debug)]
+pub struct Normalizer {
+    /// Live allocations: `(base, end, ordinal)`.
+    live: Vec<(u64, u64, u64)>,
+    next_ordinal: u64,
+}
+
+/// Synthetic address stride between allocation ordinals: larger than any
+/// single allocation the corpus produces, so normalized ranges never
+/// collide.
+pub const ALLOC_STRIDE: u64 = 1 << 32;
+
+impl Normalizer {
+    /// A normalizer with no allocations seen yet.
+    #[must_use]
+    pub fn new() -> Normalizer {
+        Normalizer::default()
+    }
+
+    fn norm_addr(&self, addr: u64) -> u64 {
+        for (base, end, ordinal) in &self.live {
+            if addr >= *base && addr < *end {
+                return ordinal * ALLOC_STRIDE + (addr - base);
+            }
+        }
+        // One-past-the-end addresses (ISO-legal pointer arithmetic) belong
+        // to their allocation too; checked second so an adjacent
+        // allocation's base wins over a predecessor's one-past.
+        for (base, end, ordinal) in &self.live {
+            if addr == *end {
+                return ordinal * ALLOC_STRIDE + (addr - base);
+            }
+        }
+        addr
+    }
+
+    /// Normalize one event, updating the allocation table as a side effect.
+    ///
+    /// Must be fed the stream *in order* — allocation ordinals and
+    /// liveness depend on every preceding `Alloc`/`Free`.
+    pub fn norm_event(&mut self, ev: &MemEvent) -> MemEvent {
+        match ev {
+            MemEvent::Alloc {
+                id: _,
+                base,
+                size,
+                kind,
+                name,
+            } => {
+                let ordinal = self.next_ordinal;
+                self.next_ordinal += 1;
+                self.live.push((*base, base + size, ordinal));
+                MemEvent::Alloc {
+                    id: ordinal,
+                    base: ordinal * ALLOC_STRIDE,
+                    size: *size,
+                    kind: *kind,
+                    name: name.clone(),
+                }
+            }
+            MemEvent::Free {
+                id: _,
+                base,
+                end,
+                dynamic,
+            } => {
+                let entry = self
+                    .live
+                    .iter()
+                    .position(|(b, _, _)| *b == *base);
+                let ordinal = match entry {
+                    Some(i) => {
+                        let (_, _, ordinal) = self.live.remove(i);
+                        ordinal
+                    }
+                    None => u64::MAX,
+                };
+                MemEvent::Free {
+                    id: ordinal,
+                    base: ordinal.wrapping_mul(ALLOC_STRIDE),
+                    end: ordinal.wrapping_mul(ALLOC_STRIDE) + (end - base),
+                    dynamic: *dynamic,
+                }
+            }
+            MemEvent::Load { addr, size, intptr } => MemEvent::Load {
+                addr: self.norm_addr(*addr),
+                size: *size,
+                intptr: *intptr,
+            },
+            MemEvent::Store { addr, size } => MemEvent::Store {
+                addr: self.norm_addr(*addr),
+                size: *size,
+            },
+            MemEvent::Memcpy { dst, src, n } => MemEvent::Memcpy {
+                dst: self.norm_addr(*dst),
+                src: self.norm_addr(*src),
+                n: *n,
+            },
+            MemEvent::CapDerive {
+                from,
+                to,
+                tag_cleared,
+            } => MemEvent::CapDerive {
+                from: self.norm_addr(*from),
+                to: self.norm_addr(*to),
+                tag_cleared: *tag_cleared,
+            },
+            MemEvent::CapTagClear {
+                addr,
+                count,
+                reason,
+            } => MemEvent::CapTagClear {
+                addr: self.norm_addr(*addr),
+                count: *count,
+                reason: *reason,
+            },
+            MemEvent::Revoke { base, end, cleared } => MemEvent::Revoke {
+                base: self.norm_addr(*base),
+                end: self.norm_addr(*base) + (end - base),
+                cleared: *cleared,
+            },
+            // No addresses to rewrite.
+            MemEvent::RepCheck { .. } | MemEvent::Ub(_) | MemEvent::Trap(_) | MemEvent::Exit(_) => {
+                ev.clone()
+            }
+        }
+    }
+
+    /// Normalize a whole stream.
+    #[must_use]
+    pub fn norm_stream(events: &[MemEvent]) -> Vec<MemEvent> {
+        let mut n = Normalizer::new();
+        events.iter().map(|ev| n.norm_event(ev)).collect()
+    }
+}
+
+/// Find the first divergence between two event streams; `None` if they
+/// agree (under `mode`) for their full common shape.
+#[must_use]
+pub fn diff(
+    left: &[MemEvent],
+    right: &[MemEvent],
+    mode: DiffMode,
+    context: usize,
+) -> Option<TraceDiff> {
+    let (l, r): (Vec<MemEvent>, Vec<MemEvent>) = match mode {
+        DiffMode::Exact => (left.to_vec(), right.to_vec()),
+        DiffMode::Normalized => (Normalizer::norm_stream(left), Normalizer::norm_stream(right)),
+    };
+    let common = l.len().min(r.len());
+    let mismatch = (0..common).find(|&i| l[i] != r[i]);
+    let idx = match mismatch {
+        Some(i) => i,
+        None if l.len() != r.len() => common,
+        None => return None,
+    };
+    let start = idx.saturating_sub(context);
+    Some(TraceDiff {
+        index: idx,
+        left: left.get(idx).cloned(),
+        right: right.get(idx).cloned(),
+        context: left[start..idx].to_vec(),
+    })
+}
+
+/// Render a [`TraceDiff`] for humans: context lines, then the two divergent
+/// events marked `<`/`>` (a missing side renders as `(stream ends)`).
+#[must_use]
+pub fn render_diff(d: &TraceDiff) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "first divergence at event {}", d.index);
+    let base = d.index - d.context.len();
+    for (i, ev) in d.context.iter().enumerate() {
+        let _ = writeln!(out, "  = [{}] {}", base + i, crate::render::full_line(ev));
+    }
+    match &d.left {
+        Some(ev) => {
+            let _ = writeln!(out, "  < [{}] {}", d.index, crate::render::full_line(ev));
+        }
+        None => {
+            let _ = writeln!(out, "  < [{}] (stream ends)", d.index);
+        }
+    }
+    match &d.right {
+        Some(ev) => {
+            let _ = writeln!(out, "  > [{}] {}", d.index, crate::render::full_line(ev));
+        }
+        None => {
+            let _ = writeln!(out, "  > [{}] (stream ends)", d.index);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{AllocClass, Name};
+
+    fn alloc(id: u64, base: u64, size: u64) -> MemEvent {
+        MemEvent::Alloc {
+            id,
+            base,
+            size,
+            kind: AllocClass::Auto,
+            name: Name::new("x"),
+        }
+    }
+
+    fn store(addr: u64) -> MemEvent {
+        MemEvent::Store { addr, size: 4 }
+    }
+
+    #[test]
+    fn identical_streams_have_no_diff() {
+        let a = vec![alloc(1, 0x1000, 8), store(0x1004), MemEvent::Exit(0)];
+        assert_eq!(diff(&a, &a, DiffMode::Exact, 2), None);
+        assert_eq!(diff(&a, &a, DiffMode::Normalized, 2), None);
+    }
+
+    #[test]
+    fn exact_mode_sees_layout_differences() {
+        let a = vec![alloc(1, 0x1000, 8), store(0x1004)];
+        let b = vec![alloc(1, 0x2000, 8), store(0x2004)];
+        let d = diff(&a, &b, DiffMode::Exact, 4).expect("differs");
+        assert_eq!(d.index, 0);
+        // Normalized mode aligns them: same ordinal, same offset.
+        assert_eq!(diff(&a, &b, DiffMode::Normalized, 4), None);
+    }
+
+    #[test]
+    fn normalized_mode_reports_semantic_divergence() {
+        // Same layout shift, but the second store lands at a different
+        // offset — a genuine semantic divergence.
+        let a = vec![alloc(1, 0x1000, 8), store(0x1004)];
+        let b = vec![alloc(1, 0x2000, 8), store(0x2000)];
+        let d = diff(&a, &b, DiffMode::Normalized, 4).expect("differs");
+        assert_eq!(d.index, 1);
+        assert_eq!(d.left, Some(store(0x1004)));
+        assert_eq!(d.right, Some(store(0x2000)));
+        assert_eq!(d.context.len(), 1);
+    }
+
+    #[test]
+    fn length_mismatch_is_a_divergence() {
+        let a = vec![store(0x1000), MemEvent::Exit(0)];
+        let b = vec![store(0x1000)];
+        let d = diff(&a, &b, DiffMode::Exact, 1).expect("differs");
+        assert_eq!(d.index, 1);
+        assert_eq!(d.left, Some(MemEvent::Exit(0)));
+        assert_eq!(d.right, None);
+        let rendered = render_diff(&d);
+        assert!(rendered.contains("(stream ends)"), "{rendered}");
+        assert!(rendered.contains("< [1] exit 0"), "{rendered}");
+    }
+
+    #[test]
+    fn free_rejoins_its_allocation() {
+        // Free carries the *reserved* end; normalization keys on base.
+        let a = vec![
+            alloc(1, 0x1000, 6),
+            MemEvent::Free {
+                id: 1,
+                base: 0x1000,
+                end: 0x1008,
+                dynamic: true,
+            },
+        ];
+        let b = vec![
+            alloc(1, 0x9000, 6),
+            MemEvent::Free {
+                id: 1,
+                base: 0x9000,
+                end: 0x9008,
+                dynamic: true,
+            },
+        ];
+        assert_eq!(diff(&a, &b, DiffMode::Normalized, 2), None);
+    }
+
+    #[test]
+    fn context_window_is_bounded() {
+        let a: Vec<MemEvent> = (0..10).map(|i| store(0x1000 + i * 4)).collect();
+        let mut b = a.clone();
+        b[9] = store(0x9999);
+        let d = diff(&a, &b, DiffMode::Exact, 3).expect("differs");
+        assert_eq!(d.index, 9);
+        assert_eq!(d.context.len(), 3);
+        assert_eq!(d.context[0], store(0x1000 + 6 * 4));
+    }
+}

@@ -5,4 +5,5 @@
 pub use cheri_cap as cap;
 pub use cheri_core as core;
 pub use cheri_mem as mem;
+pub use cheri_obs as obs;
 pub use cheri_testsuite as testsuite;

@@ -1,19 +1,26 @@
 //! `cheri-c` — command-line interface to the executable CHERI C semantics.
 //!
 //! ```text
-//! cheri-c prog.c                        run under the reference semantics
-//! cheri-c prog.c --profile gcc-morello-O3
-//! cheri-c prog.c --arch cheriot         run against the 64-bit CHERIoT format
-//! cheri-c prog.c --all                  compare all implementation profiles
-//! cheri-c prog.c --trace                print the memory-event trace
-//! cheri-c prog.c --stats                print memory-model statistics
-//! cheri-c --list-profiles
+#![doc = include_str!("usage.txt")]
 //! ```
 
 use std::process::ExitCode;
 
 use cheri_c::core::{compile_for, run_with, Interp, Outcome, Profile};
 use cheri_cap::{Capability, CheriotCap, MorelloCap};
+use cheri_mem::{MemEvent, MemStats, TagClearReason};
+use cheri_obs::{binfmt, render, DiffMode};
+
+/// The `--help` text (also the module documentation above).
+const USAGE: &str = include_str!("usage.txt");
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Text,
+    Full,
+    Json,
+    Bin,
+}
 
 struct Options {
     file: Option<String>,
@@ -21,6 +28,9 @@ struct Options {
     arch: String,
     all: bool,
     trace: bool,
+    trace_format: TraceFormat,
+    trace_out: Option<String>,
+    trace_diff: bool,
     stats: bool,
     list: bool,
 }
@@ -32,6 +42,9 @@ fn parse_args() -> Result<Options, String> {
         arch: "morello".into(),
         all: false,
         trace: false,
+        trace_format: TraceFormat::Text,
+        trace_out: None,
+        trace_diff: false,
         stats: false,
         list: false,
     };
@@ -44,15 +57,41 @@ fn parse_args() -> Result<Options, String> {
             "--arch" => o.arch = args.next().ok_or("--arch needs a value")?,
             "--all" => o.all = true,
             "--trace" => o.trace = true,
+            "--trace-format" => {
+                let v = args.next().ok_or("--trace-format needs a value")?;
+                o.trace_format = match v.as_str() {
+                    "text" => TraceFormat::Text,
+                    "full" => TraceFormat::Full,
+                    "json" => TraceFormat::Json,
+                    "bin" => TraceFormat::Bin,
+                    other => {
+                        return Err(format!(
+                            "unknown trace format {other} (expected text, full, json or bin)"
+                        ))
+                    }
+                };
+                o.trace = true;
+            }
+            "--trace-out" => {
+                o.trace_out = Some(args.next().ok_or("--trace-out needs a value")?);
+            }
+            "--trace-diff" => o.trace_diff = true,
             "--stats" => o.stats = true,
             "--list-profiles" => o.list = true,
             "--help" | "-h" => {
-                println!("usage: cheri-c <file.c> [--profile NAME] [--arch morello|cheriot] [--all] [--trace] [--stats]");
+                print!("{USAGE}");
                 std::process::exit(0);
             }
             f if !f.starts_with('-') => o.file = Some(f.to_string()),
-            other => return Err(format!("unknown option {other}")),
+            other => return Err(format!("unknown option {other} (try --help)")),
         }
+    }
+    if o.trace_format == TraceFormat::Bin && o.trace_out.is_none() {
+        return Err("--trace-format bin needs --trace-out FILE (binary traces are not printed)"
+            .to_string());
+    }
+    if o.trace_diff && !o.all {
+        return Err("--trace-diff needs --all (it compares profiles)".to_string());
     }
     Ok(o)
 }
@@ -86,38 +125,110 @@ const PROFILES: &[&str] = &[
     "clang-morello-O0-subobject-safe",
 ];
 
-fn exec<C: Capability>(src: &str, profile: &Profile, opts: &Options) -> Outcome {
-    if opts.trace || opts.stats {
+/// Print the memory trace to stderr in the selected format. The `text`
+/// format (and its event count) is byte-identical to the historical
+/// `--trace` output.
+fn print_trace(events: &[MemEvent], format: TraceFormat) {
+    let lines: Vec<String> = match format {
+        TraceFormat::Text => render::legacy_lines(events),
+        TraceFormat::Full => events.iter().map(render::full_line).collect(),
+        TraceFormat::Json => events.iter().map(render::json_line).collect(),
+        TraceFormat::Bin => return, // written via --trace-out only
+    };
+    eprintln!("── memory trace ({} events) ──", lines.len());
+    for line in &lines {
+        eprintln!("  {line}");
+    }
+}
+
+fn print_stats(profile: &Profile, unspecified_reads: u32, s: &MemStats) {
+    eprintln!(
+        "(run under {}; unspecified reads: {})",
+        profile.name, unspecified_reads
+    );
+    eprintln!(
+        "  loads={} stores={} allocations={} frees={}",
+        s.loads, s.stores, s.allocations, s.frees
+    );
+    eprintln!(
+        "  representability_checks={} padding_bytes={} revoked_caps={}",
+        s.representability_checks, s.padding_bytes, s.revoked_caps
+    );
+    eprintln!(
+        "  memcpy_bytes={} tag_clears={} (noncap-write={} memcpy={} misaligned-store={} revoked={})",
+        s.memcpy_bytes,
+        s.tag_clears,
+        s.tag_clears_by_reason[TagClearReason::NonCapWrite.code() as usize],
+        s.tag_clears_by_reason[TagClearReason::Memcpy.code() as usize],
+        s.tag_clears_by_reason[TagClearReason::MisalignedStore.code() as usize],
+        s.tag_clears_by_reason[TagClearReason::Revoked.code() as usize],
+    );
+}
+
+/// Write a binary (CHOB) trace; with `--all` the profile name is appended
+/// to the file name so each profile gets its own trace.
+fn write_binary_trace(path: &str, profile: &Profile, all: bool, events: &[MemEvent]) {
+    let path = if all {
+        format!("{path}.{}", profile.name)
+    } else {
+        path.to_string()
+    };
+    if let Err(e) = std::fs::write(&path, binfmt::encode_trace(events)) {
+        eprintln!("error: cannot write trace to {path}: {e}");
+    }
+}
+
+fn exec<C: Capability>(
+    src: &str,
+    profile: &Profile,
+    opts: &Options,
+) -> (Outcome, Option<Vec<MemEvent>>) {
+    let want_events = opts.trace || opts.trace_out.is_some() || opts.trace_diff;
+    if want_events || opts.stats {
         let prog = match compile_for::<C>(src, profile) {
             Ok(p) => p,
             Err(e) => {
                 eprintln!("error: {e}");
-                return Outcome::Error(e);
+                return (Outcome::Error(e), None);
             }
         };
-        let mut it = Interp::<C>::new(&prog, profile);
-        if opts.trace {
-            it.mem.enable_trace();
-        }
-        let stats_wanted = opts.stats;
-        let (r, trace) = it.run_with_trace();
+        let it = Interp::<C>::new(&prog, profile);
+        let (r, events) = it.run_with_events();
         print!("{}", r.stdout);
         eprint!("{}", r.stderr);
         if opts.trace {
-            eprintln!("── memory trace ({} events) ──", trace.len());
-            for line in &trace {
-                eprintln!("  {line}");
-            }
+            print_trace(&events, opts.trace_format);
         }
-        if stats_wanted {
-            eprintln!("(run under {}; unspecified reads: {})", profile.name, r.unspecified_reads);
+        if let Some(path) = &opts.trace_out {
+            write_binary_trace(path, profile, opts.all, &events);
         }
-        r.outcome
+        if opts.stats {
+            print_stats(profile, r.unspecified_reads, &r.mem_stats);
+        }
+        (r.outcome, Some(events))
     } else {
         let r = run_with::<C>(src, profile);
         print!("{}", r.stdout);
         eprint!("{}", r.stderr);
-        r.outcome
+        (r.outcome, None)
+    }
+}
+
+/// Report the first divergence of each profile's event stream against the
+/// reference (first) profile's, in allocation-relative coordinates.
+fn report_trace_diffs(runs: &[(String, Vec<MemEvent>)]) {
+    let Some((ref_name, ref_events)) = runs.first() else {
+        return;
+    };
+    println!("── trace diff (reference: {ref_name}, normalized addresses) ──");
+    for (name, events) in &runs[1..] {
+        match cheri_obs::diff(ref_events, events, DiffMode::Normalized, 3) {
+            None => println!("{name}: no divergence ({} events)", events.len()),
+            Some(d) => {
+                println!("{name}: diverges from {ref_name}:");
+                print!("{}", cheri_obs::render_diff(&d));
+            }
+        }
     }
 }
 
@@ -154,29 +265,46 @@ fn main() -> ExitCode {
         match profile_by_name(&opts.profile) {
             Some(p) => vec![p],
             None => {
-                eprintln!("error: unknown profile {} (see --list-profiles)", opts.profile);
+                eprintln!(
+                    "error: unknown profile {} (see --list-profiles)",
+                    opts.profile
+                );
                 return ExitCode::from(2);
             }
         }
     };
     let mut last = Outcome::Exit(0);
+    let mut runs: Vec<(String, Vec<MemEvent>)> = Vec::new();
     for p in &profiles {
         if profiles.len() > 1 {
             println!("── {} ──", p.name);
         }
-        last = match opts.arch.as_str() {
+        let (outcome, events) = match opts.arch.as_str() {
             "cheriot" => exec::<CheriotCap>(&src, p, &opts),
             _ => exec::<MorelloCap>(&src, p, &opts),
         };
+        last = outcome;
         if profiles.len() > 1 {
             println!("→ {last}");
         }
+        if opts.trace_diff {
+            if let Some(events) = events {
+                runs.push((p.name.to_string(), events));
+            }
+        }
+    }
+    if opts.trace_diff {
+        report_trace_diffs(&runs);
     }
     match last {
         Outcome::Exit(c) => ExitCode::from((c & 0xFF) as u8),
         other => {
             eprintln!("{other}");
-            ExitCode::from(if matches!(other, Outcome::Trap { .. }) { 139 } else { 1 })
+            ExitCode::from(if matches!(other, Outcome::Trap { .. }) {
+                139
+            } else {
+                1
+            })
         }
     }
 }

@@ -124,4 +124,12 @@ fn forced_divergence_yields_shrunk_minimal_report() {
     ] {
         assert!(report.contains(needle), "report missing `{needle}`:\n{report}");
     }
+    // Event-granularity reporting: the report either pinpoints the first
+    // divergent memory event (normalized addresses) or states that the
+    // streams agree and only the outcome differs.
+    assert!(
+        report.contains("event-level diff vs cerberus")
+            || report.contains("event streams agree with cerberus"),
+        "report missing event-level section:\n{report}"
+    );
 }

@@ -1,0 +1,209 @@
+//! Trace-fidelity golden tests.
+//!
+//! The files under `tests/golden/` were captured from the legacy
+//! `Vec<String>` trace implementation (the eager `format!` calls inside
+//! `CheriMemory`) before the `cheri-obs` event subsystem replaced it. Every
+//! run here must reproduce those bytes exactly: the structured
+//! [`MemEvent`](cheri_obs) stream rendered through the legacy text renderer
+//! is the *same observable* as the old string trace.
+//!
+//! Regenerate (only legitimate when intentionally changing the trace
+//! format): `CHERI_GOLDEN_BLESS=1 cargo test --test trace_golden`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use cheri_c::core::{compile_for, Interp, Profile};
+use cheri_cap::MorelloCap;
+
+/// The §3 paper snippets exercised end-to-end (a superset of the memory
+/// behaviours the trace records: allocation, lifetime end, scalar loads and
+/// stores, capability stores, memcpy, UB stops and hardware traps).
+const PROGRAMS: &[(&str, &str)] = &[
+    (
+        "oob_access",
+        r#"
+        void f(int *p, int i) { int *q = p + i; *q = 42; }
+        int main(void) { int x=0, y=0; f(&x, 1); return y; }
+    "#,
+    ),
+    (
+        "oob_construction",
+        r#"
+        int main(void) {
+          int x[2];
+          int *p = &x[0];
+          int *q = p + 100001;
+          q = q - 100000;
+          *q = 1;
+        }
+    "#,
+    ),
+    (
+        "uintptr_excursion",
+        r#"
+        #include <stdint.h>
+        void f(int a, int b) {
+          int x[2];
+          int *p = &x[0];
+          uintptr_t i = (uintptr_t)p;
+          uintptr_t j = i + a;
+          uintptr_t k = j - b;
+          int *q = (int*)k;
+          *q = 1;
+        }
+        int main(void) { f(100001*sizeof(int), 100000*sizeof(int)); }
+    "#,
+    ),
+    (
+        "union_punning",
+        r#"
+        #include <stdint.h>
+        union ptr { int *ptr; uintptr_t iptr; };
+        int main(void) {
+          int arr[] = {42,43};
+          union ptr x;
+          x.ptr = arr;
+          x.iptr += sizeof(int);
+          assert(*x.ptr == 43);
+          return 0;
+        }
+    "#,
+    ),
+    (
+        "identity_write",
+        r#"
+        int main(void) {
+          int x = 0;
+          int *px = &x;
+          unsigned char *p = (unsigned char *)&px;
+          p[0] = p[0];
+          *px = 1;
+          return x;
+        }
+    "#,
+    ),
+    (
+        "malloc_free_churn",
+        r#"
+        int main(void) {
+          int acc = 0;
+          for (int i = 0; i < 4; i++) {
+            int *p = malloc(8 * sizeof(int));
+            for (int j = 0; j < 8; j++) p[j] = j;
+            for (int j = 0; j < 8; j++) acc += p[j];
+            free(p);
+          }
+          return acc == 4 * 28 ? 0 : 1;
+        }
+    "#,
+    ),
+    (
+        "memcpy_tags",
+        r#"
+        #include <string.h>
+        int main(void) {
+          int x = 7;
+          int *a[4];
+          int *b[4];
+          for (int i = 0; i < 4; i++) a[i] = &x;
+          memcpy(b, a, sizeof(a));
+          return *b[3] == 7 ? 0 : 1;
+        }
+    "#,
+    ),
+    (
+        "use_after_free",
+        r#"
+        int main(void) {
+          int *p = malloc(sizeof(int));
+          *p = 5;
+          free(p);
+          return *p;
+        }
+    "#,
+    ),
+    (
+        "string_literals",
+        r#"
+        #include <string.h>
+        int main(void) {
+          const char *s = "hello, cheri";
+          char buf[16];
+          strcpy(buf, s);
+          return strlen(buf) == 12 ? 0 : 1;
+        }
+    "#,
+    ),
+];
+
+fn profiles() -> Vec<Profile> {
+    vec![
+        Profile::cerberus(),
+        Profile::clang_morello(false),
+        Profile::cheriot(),
+        Profile::iso_baseline(),
+    ]
+}
+
+/// Run one program under one profile with tracing enabled; render outcome
+/// plus the trace lines the way `cheri-c --trace` prints them.
+fn capture(src: &str, profile: &Profile) -> String {
+    let mut out = String::new();
+    match compile_for::<MorelloCap>(src, profile) {
+        Ok(prog) => {
+            let mut it = Interp::<MorelloCap>::new(&prog, profile);
+            it.mem.enable_trace();
+            let (r, trace) = it.run_with_trace();
+            let _ = writeln!(out, "outcome: {}", r.outcome.label());
+            let _ = writeln!(out, "events: {}", trace.len());
+            for line in &trace {
+                let _ = writeln!(out, "  {line}");
+            }
+        }
+        Err(e) => {
+            let _ = writeln!(out, "compile error: {e}");
+        }
+    }
+    out
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+#[test]
+fn trace_output_matches_legacy_golden_files() {
+    let bless = std::env::var("CHERI_GOLDEN_BLESS").is_ok();
+    let dir = golden_dir();
+    if bless {
+        std::fs::create_dir_all(&dir).expect("create golden dir");
+    }
+    let mut failures = Vec::new();
+    for (name, src) in PROGRAMS {
+        for p in profiles() {
+            let got = capture(src, &p);
+            let path = dir.join(format!("{name}.{}.trace", p.name));
+            if bless {
+                std::fs::write(&path, &got).expect("write golden");
+                continue;
+            }
+            let want = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+            if got != want {
+                failures.push(format!(
+                    "{name} under {}: trace differs from legacy golden\n--- golden\n{want}\n--- got\n{got}",
+                    p.name
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} golden mismatches:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
