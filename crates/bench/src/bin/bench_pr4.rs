@@ -279,9 +279,9 @@ fn main() {
     let _ = writeln!(
         json,
         "    \"no_sink_vs_pr3_baseline\": {{\"margin\": {margin}, \"baseline_min_ns\": {}, \"no_sink_min_ns\": {no_sink_min_ns:.1}, \"min_ratio\": {}, \"median_ratio\": {}, \"pass\": {gate1_pass}}},",
-        baseline_min.map_or("null".into(), |b| format!("{b:.1}")),
-        ratio.map_or("null".into(), |r| format!("{r:.3}")),
-        median_ratio.map_or("null".into(), |r| format!("{r:.3}")),
+        baseline_min.map_or_else(|| "null".into(), |b| format!("{b:.1}")),
+        ratio.map_or_else(|| "null".into(), |r| format!("{r:.3}")),
+        median_ratio.map_or_else(|| "null".into(), |r| format!("{r:.3}")),
     );
     let _ = writeln!(
         json,

@@ -172,6 +172,7 @@ fn shrink_divergence(
 }
 
 /// Run the corpus `[base, base+count)` (both families) over `profiles`.
+#[must_use] 
 pub fn run_corpus(base: u64, count: u64, profiles: &[Profile]) -> (CorpusStats, Vec<Divergence>) {
     let mut stats = CorpusStats::default();
     let mut divergences = Vec::new();

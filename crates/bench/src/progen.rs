@@ -522,7 +522,7 @@ mod tests {
         assert_eq!(min.stmts.len(), 1, "{min:?}");
         assert!(fails(&min));
         // 1-minimality: deleting the last statement kills the failure.
-        let mut none = min.clone();
+        let mut none = min;
         none.stmts.clear();
         assert!(!fails(&none));
     }

@@ -271,7 +271,7 @@ impl<P: CcProfile> CcCap<P> {
             return (b, t, false, true);
         }
         // IE = 1: find the smallest workable exponent.
-        let msb = 127 - len.leading_zeros();
+        let msb = len.ilog2();
         let e0 = msb.saturating_sub(mw - 2).min(P::E_MAX);
         for e in e0..=P::E_MAX {
             let g = e + 3; // granule bits: mantissa low 3 bits hold E
@@ -620,7 +620,7 @@ impl<P: CcProfile> Capability for CcCap<P> {
         if len < (1u128 << (P::MW - 2)) {
             return u64::MAX;
         }
-        let msb = 127 - len.leading_zeros();
+        let msb = len.ilog2();
         let mut e = msb.saturating_sub(P::MW - 2).min(P::E_MAX);
         // One extra exponent step if the rounded length spills over (same
         // rule as encode_bounds' search).

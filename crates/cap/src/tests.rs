@@ -258,7 +258,7 @@ fn decode_arbitrary_bytes_total() {
     check(
         "decode_arbitrary_bytes_total",
         Config::cases(512),
-        |rng| rng.gen::<[u8; 16]>(),
+        cheri_qc::Rng::gen::<[u8; 16]>,
         |bytes| {
             let c = MorelloCap::decode(bytes, true).unwrap();
             let _ = c.bounds();

@@ -163,6 +163,7 @@ impl<'p, C: Capability> Interp<'p, C> {
     }
 
     /// Run the program: initialise globals and functions, call `main`.
+    #[must_use] 
     pub fn run(self) -> RunResult {
         self.run_with_trace().0
     }
@@ -171,6 +172,7 @@ impl<'p, C: Capability> Interp<'p, C> {
     /// the legacy text format (empty unless [`CheriMemory::enable_trace`]
     /// was called on [`Interp::mem`] first). The trace is what makes the
     /// executable semantics usable as a test oracle (§7).
+    #[must_use] 
     pub fn run_with_trace(mut self) -> (RunResult, Vec<String>) {
         let outcome = self.run_to_outcome();
         let trace = self.mem.take_trace();
@@ -181,7 +183,8 @@ impl<'p, C: Capability> Interp<'p, C> {
     /// Installs a collecting sink if none is present; a terminal
     /// [`MemEvent::Exit`]/[`MemEvent::Ub`]/[`MemEvent::Trap`] event closes
     /// the stream, so two profiles' streams can be diffed end to end with
-    /// [`cheri_obs::diff`].
+    /// `cheri_obs::diff`.
+    #[must_use]
     pub fn run_with_events(mut self) -> (RunResult, Vec<MemEvent>) {
         if !self.mem.sink_active() {
             self.mem.enable_trace();
@@ -199,7 +202,7 @@ impl<'p, C: Capability> Interp<'p, C> {
             Err(Stop::Assert(m)) => Outcome::AssertFailed(m),
             Err(Stop::Abort) => Outcome::Abort,
             Err(Stop::Exit(c)) => Outcome::Exit(c),
-            Err(Stop::Limit(m)) | Err(Stop::Unsupported(m)) => Outcome::Error(m),
+            Err(Stop::Limit(m) | Stop::Unsupported(m)) => Outcome::Error(m),
         };
         match &outcome {
             Outcome::Exit(c) => {
@@ -378,7 +381,7 @@ impl<'p, C: Capability> Interp<'p, C> {
                     .load_int(p, size, ity.signed(), ity.is_capability())?;
                 let v = match v {
                     IntVal::Num(n) => IntVal::Num(ity.wrap(n)),
-                    cap => cap,
+                    cap @ IntVal::Cap { .. } => cap,
                 };
                 Ok(Value::Int { ity: *ity, v })
             }
@@ -1790,7 +1793,7 @@ impl<'p, C: Capability> Interp<'p, C> {
     /// Minimal printf-style formatting.
     fn format(&mut self, fmt: &str, args: &[(Value<C>, Ty)]) -> EResult<String> {
         let mut out = String::new();
-        let mut it = fmt.chars().peekable();
+        let mut it = fmt.chars();
         let mut arg_i = 0;
         let next = |i: &mut usize| -> Option<&(Value<C>, Ty)> {
             let v = args.get(*i);

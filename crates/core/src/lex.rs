@@ -109,7 +109,7 @@ struct Lexer<'s> {
     macros: HashMap<String, Vec<Spanned>>,
 }
 
-impl<'s> Lexer<'s> {
+impl Lexer<'_> {
     fn pos(&self) -> Pos {
         Pos {
             line: self.line,
@@ -222,7 +222,7 @@ impl<'s> Lexer<'s> {
 
     fn lex_number(&mut self) -> Result<Tok, LexError> {
         let mut value: u128 = 0;
-        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x' | b'X')) {
             self.bump();
             self.bump();
             let mut any = false;

@@ -310,7 +310,7 @@ impl Parser {
                 (_, n) if n >= 2 => {
                     Ty::Int(if signed { IntTy::LongLong } else { IntTy::ULongLong })
                 }
-                (Some("int"), 0) | (None, 0) if base.is_some() || signedness.is_some() => {
+                (Some("int") | None, 0) if base.is_some() || signedness.is_some() => {
                     Ty::Int(if signed { IntTy::Int } else { IntTy::UInt })
                 }
                 _ => return self.err("expected type specifier"),
@@ -1366,7 +1366,7 @@ mod tests {
                 assert!(f.params.is_empty());
                 assert!(f.body.is_some());
             }
-            other => panic!("expected function, got {other:?}"),
+            other @ Item::Global(_) => panic!("expected function, got {other:?}"),
         }
     }
 
@@ -1379,7 +1379,7 @@ mod tests {
                 assert_eq!(f.params[0].ty, Ty::ptr(Ty::int()));
                 assert_eq!(f.params[1].name, "i");
             }
-            other => panic!("{other:?}"),
+            other @ Item::Global(_) => panic!("{other:?}"),
         }
     }
 
@@ -1405,7 +1405,7 @@ mod tests {
                     s => panic!("{s:?}"),
                 }
             }
-            other => panic!("{other:?}"),
+            other @ Item::Global(_) => panic!("{other:?}"),
         }
     }
 
@@ -1460,7 +1460,7 @@ mod tests {
                     s => panic!("{s:?}"),
                 }
             }
-            other => panic!("{other:?}"),
+            other @ Item::Global(_) => panic!("{other:?}"),
         }
     }
 

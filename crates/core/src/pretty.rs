@@ -5,8 +5,6 @@
 //! front-end self-consistency: `parse ∘ print ∘ parse ≡ parse` (printing a
 //! parse and re-parsing it reaches a fixpoint).
 
-use std::fmt::Write as _;
-
 use crate::ast::*;
 use crate::types::{IntTy, StructId, Ty, TypeTable};
 
@@ -83,26 +81,29 @@ impl Printer<'_> {
     }
 
     fn func(&mut self, f: &FuncDef) {
-        let mut sig = String::new();
-        let _ = write!(sig, "{} {}(", type_prefix(&f.ret, self.types), f.name);
+        // Build the declarator `name(params)` first, then thread it through
+        // `declare` so return types that need nesting (pointer-to-function)
+        // come out as e.g. `int (*pick(int which))(int)`.
+        let mut decl = format!("{}(", f.name);
         if f.params.is_empty() && !f.variadic {
-            sig.push_str("void");
+            decl.push_str("void");
         }
         for (i, p) in f.params.iter().enumerate() {
             if i > 0 {
-                sig.push_str(", ");
+                decl.push_str(", ");
             }
             let name = if p.name.is_empty() {
                 format!("arg{i}")
             } else {
                 p.name.clone()
             };
-            sig.push_str(&declare(&p.ty, &name, self.types));
+            decl.push_str(&declare(&p.ty, &name, self.types));
         }
         if f.variadic {
-            sig.push_str(", ...");
+            decl.push_str(", ...");
         }
-        sig.push(')');
+        decl.push(')');
+        let sig = declare(&f.ret, &decl, self.types);
         match &f.body {
             None => self.line(&format!("{sig};")),
             Some(body) => {
@@ -283,15 +284,10 @@ fn print_init(init: &Init, types: &TypeTable) -> String {
     }
 }
 
-/// Type-name prefix for positions where only the specifier is needed.
-fn type_prefix(ty: &Ty, types: &TypeTable) -> String {
-    declare(ty, "", types).trim_end().to_string()
-}
-
 /// Render a declaration of `name` at type `ty` (inside-out declarator
 /// construction, the reverse of parsing).
 fn declare(ty: &Ty, name: &str, types: &TypeTable) -> String {
-    fn go(ty: &Ty, inner: String, types: &TypeTable) -> String {
+    fn go(ty: &Ty, inner: &str, types: &TypeTable) -> String {
         match ty {
             Ty::Void => format!("void {inner}").trim_end().to_string(),
             Ty::Int(i) => format!("{} {inner}", int_name(*i)).trim_end().to_string(),
@@ -300,20 +296,16 @@ fn declare(ty: &Ty, name: &str, types: &TypeTable) -> String {
                 pointee,
                 const_pointee,
             } => {
-                let star = if *const_pointee {
-                    // const applies to the pointee: prefix the base type.
-                    format!("*{inner}")
-                } else {
-                    format!("*{inner}")
-                };
+                let star = format!("*{inner}");
                 let needs_parens = matches!(**pointee, Ty::Array(..) | Ty::Func { .. });
                 let inner = if needs_parens {
                     format!("({star})")
                 } else {
                     star
                 };
-                let base = go(pointee, inner, types);
+                let base = go(pointee, &inner, types);
                 if *const_pointee {
+                    // const applies to the pointee: prefix the base type.
                     format!("const {base}")
                 } else {
                     base
@@ -324,7 +316,7 @@ fn declare(ty: &Ty, name: &str, types: &TypeTable) -> String {
                     Some(n) => format!("{inner}[{n}]"),
                     None => format!("{inner}[]"),
                 };
-                go(elem, dim, types)
+                go(elem, &dim, types)
             }
             Ty::Struct(id) => format!("struct {} {inner}", types.structs[id.0].name)
                 .trim_end()
@@ -347,11 +339,11 @@ fn declare(ty: &Ty, name: &str, types: &TypeTable) -> String {
                 } else {
                     plist.join(", ")
                 };
-                go(ret, format!("{inner}({plist})"), types)
+                go(ret, &format!("{inner}({plist})"), types)
             }
         }
     }
-    go(ty, name.to_string(), types)
+    go(ty, name, types)
 }
 
 fn int_name(i: IntTy) -> &'static str {
@@ -427,7 +419,7 @@ pub fn print_expr(e: &Expr, types: &TypeTable) -> String {
             s
         }
         ExprKind::CharLit(c) => format!("{c}"),
-        ExprKind::StrLit(s) => format!("{:?}", s).replace("\\u{0}", "\\0"),
+        ExprKind::StrLit(s) => format!("{s:?}").replace("\\u{0}", "\\0"),
         ExprKind::Ident(n) => n.clone(),
         ExprKind::Binary(op, a, b) => format!(
             "({} {} {})",

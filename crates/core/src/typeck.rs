@@ -186,7 +186,7 @@ impl Checker {
         for stream in ["stderr", "stdout"] {
             self.globals
                 .entry(stream.to_string())
-                .or_insert((Ty::ptr(Ty::Void), true));
+                .or_insert_with(|| (Ty::ptr(Ty::Void), true));
         }
         let mut globals = Vec::new();
         let mut funcs = HashMap::new();
@@ -878,7 +878,7 @@ impl Checker {
             return self.comparison(op, l, r, pos);
         }
         match (op, l.ty.is_ptr(), r.ty.is_ptr()) {
-            (BinOp::Add, true, false) | (BinOp::Sub, true, false) => {
+            (BinOp::Add | BinOp::Sub, true, false) => {
                 let elem = self.types.size_of(l.ty.pointee().expect("pointer"));
                 let idx = self.promote(r);
                 if idx.int_ty().is_none() {
@@ -1126,7 +1126,7 @@ impl Checker {
         let rhs = self.rvalue(rhs)?;
         match op {
             None => {
-                let rhs = self.convert(rhs, &lv.ty.clone(), false)?;
+                let rhs = self.convert(rhs, &lv.ty, false)?;
                 Ok(TExpr {
                     ty: lv.ty.clone(),
                     kind: TExprKind::Assign {
@@ -1523,9 +1523,7 @@ impl Checker {
         }
         let kind = match (&e.ty, to) {
             (_, Ty::Void) => CastKind::ToVoid,
-            (Ty::Int(_), Ty::Int(IntTy::Bool))
-            | (Ty::Ptr { .. }, Ty::Int(IntTy::Bool))
-            | (Ty::Float(_), Ty::Int(IntTy::Bool)) => CastKind::ToBool,
+            (Ty::Int(_) | Ty::Ptr { .. } | Ty::Float(_), Ty::Int(IntTy::Bool)) => CastKind::ToBool,
             (Ty::Int(_), Ty::Float(_)) => CastKind::IntToFloat,
             (Ty::Float(_), Ty::Int(_)) => CastKind::FloatToInt,
             (Ty::Float(_), Ty::Float(_)) => CastKind::FloatToFloat,
@@ -1636,7 +1634,7 @@ fn const_int(ity: IntTy, v: i128, pos: Pos) -> TExpr {
 fn is_char(t: &Ty) -> bool {
     matches!(
         t,
-        Ty::Int(IntTy::Char) | Ty::Int(IntTy::SChar) | Ty::Int(IntTy::UChar)
+        Ty::Int(IntTy::Char | IntTy::SChar | IntTy::UChar)
     )
 }
 
@@ -1710,17 +1708,6 @@ mod tests {
 
     #[test]
     fn derivation_picks_the_capability_side() {
-        // §3.7 array_shift: size_t * n + intptr → result derives from the
-        // intptr operand (Right), not the converted size_t product.
-        let p = check_src(
-            "int* array_shift(int *x, int n) {\n\
-               intptr_t ip = (intptr_t)x;\n\
-               intptr_t ip1 = sizeof(int)*n + ip;\n\
-               return (int*)ip1;\n\
-             }\n\
-             int main(void) { int a[2]; return *array_shift(a, 1) == a[1]; }",
-        );
-        let f = &p.funcs["array_shift"];
         // Find the Binary node for the addition.
         fn find_binary(s: &[TStmt]) -> Option<DeriveFrom> {
             for st in s {
@@ -1741,6 +1728,17 @@ mod tests {
             }
             None
         }
+        // §3.7 array_shift: size_t * n + intptr → result derives from the
+        // intptr operand (Right), not the converted size_t product.
+        let p = check_src(
+            "int* array_shift(int *x, int n) {\n\
+               intptr_t ip = (intptr_t)x;\n\
+               intptr_t ip1 = sizeof(int)*n + ip;\n\
+               return (int*)ip1;\n\
+             }\n\
+             int main(void) { int a[2]; return *array_shift(a, 1) == a[1]; }",
+        );
+        let f = &p.funcs["array_shift"];
         assert_eq!(find_binary(&f.body), Some(DeriveFrom::Right));
     }
 

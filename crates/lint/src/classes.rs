@@ -1,0 +1,166 @@
+//! The verdict-class taxonomy.
+//!
+//! The dynamic semantics reports 21 [`Ub`] kinds and 3 [`TrapKind`]s; the
+//! analyzer groups them into a small number of *verdict classes* so that a
+//! static prediction ("this program goes out of bounds") is meaningful
+//! across profiles — the same §3.1 one-past write is
+//! `UB_CHERI_BoundsViolation` under the reference semantics and a bounds
+//! trap on emulated hardware, but both are the [`UbClass::OutOfBounds`]
+//! class. The partition is total: [`class_of_ub`]/[`class_of_trap`] map
+//! every dynamic kind to exactly one class, which is what the soundness
+//! gate checks `MustUb` predictions against.
+
+use cheri_obs::{TrapKind, Ub};
+
+/// A verdict class: one family of undefined behaviour / trap outcomes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum UbClass {
+    /// Spatial memory safety: out-of-bounds access or out-of-bounds
+    /// pointer arithmetic (§2.2, §3.1–§3.3).
+    OutOfBounds,
+    /// Temporal memory safety: use after free, double free, invalid free
+    /// (§3.8, §5.4).
+    UseAfterFree,
+    /// Reads of uninitialised objects or trap representations (§4.3).
+    Uninit,
+    /// Provenance violations: empty/ambiguous provenance access,
+    /// cross-provenance comparison or subtraction (§2.2, §4.3).
+    Provenance,
+    /// Dereference through an untagged (or ghost-unspecified) capability —
+    /// the dynamic face of provenance/tag stripping via `(u)intptr_t`
+    /// round trips, representability excursions and representation writes
+    /// (§2.2, §3.3, §4.3).
+    TagStripped,
+    /// Permission violations: writes through read-only capabilities,
+    /// missing load/store/execute permission (§3.9).
+    Permission,
+    /// Integer arithmetic UB: signed overflow, division by zero, shift out
+    /// of range (ISO C).
+    Arithmetic,
+    /// Null-pointer dereference.
+    NullDeref,
+    /// Misaligned capability store: *latent* on CHERI (the machine clears
+    /// the stored tag instead of faulting, §3.5), so the dynamic semantics
+    /// never stops with this class — the analyzer reports it as `MayUb`
+    /// with the tag-clear cause attached.
+    Misaligned,
+}
+
+/// Every verdict class, in report order.
+pub const ALL_CLASSES: &[UbClass] = &[
+    UbClass::OutOfBounds,
+    UbClass::UseAfterFree,
+    UbClass::Uninit,
+    UbClass::Provenance,
+    UbClass::TagStripped,
+    UbClass::Permission,
+    UbClass::Arithmetic,
+    UbClass::NullDeref,
+    UbClass::Misaligned,
+];
+
+impl UbClass {
+    /// Stable kebab-case name used by the diagnostic renderers.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            UbClass::OutOfBounds => "out-of-bounds",
+            UbClass::UseAfterFree => "use-after-free",
+            UbClass::Uninit => "uninitialised-read",
+            UbClass::Provenance => "provenance",
+            UbClass::TagStripped => "tag-stripped",
+            UbClass::Permission => "permission",
+            UbClass::Arithmetic => "arithmetic",
+            UbClass::NullDeref => "null-deref",
+            UbClass::Misaligned => "misaligned-store",
+        }
+    }
+
+    /// The PAPER.md section(s) this class's semantics come from.
+    #[must_use]
+    pub fn anchor(self) -> &'static str {
+        match self {
+            UbClass::OutOfBounds => "§3.1–§3.3",
+            UbClass::UseAfterFree => "§3.8/§5.4",
+            UbClass::Uninit => "§4.3",
+            UbClass::Provenance => "§2.2/§4.3",
+            UbClass::TagStripped => "§2.2/§3.3/§4.3",
+            UbClass::Permission => "§3.9",
+            UbClass::Arithmetic => "ISO §6.5",
+            UbClass::NullDeref => "§4.2",
+            UbClass::Misaligned => "§3.5",
+        }
+    }
+}
+
+impl std::fmt::Display for UbClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which class a dynamic UB kind belongs to. Total: every [`Ub`] variant
+/// maps to exactly one class.
+#[must_use]
+pub fn class_of_ub(ub: Ub) -> UbClass {
+    match ub {
+        Ub::CheriBoundsViolation | Ub::AccessOutOfBounds | Ub::OutOfBoundPtrArithmetic => {
+            UbClass::OutOfBounds
+        }
+        Ub::AccessDeadAllocation | Ub::DoubleFree | Ub::FreeInvalidPointer => {
+            UbClass::UseAfterFree
+        }
+        Ub::UninitialisedRead | Ub::LvalueReadTrapRepresentation => UbClass::Uninit,
+        Ub::EmptyProvenanceAccess
+        | Ub::AmbiguousProvenance
+        | Ub::PtrDiffDifferentProvenance
+        | Ub::RelationalCompareDifferentProvenance => UbClass::Provenance,
+        Ub::CheriInvalidCap | Ub::CheriUndefinedTag => UbClass::TagStripped,
+        Ub::CheriInsufficientPermissions | Ub::WriteToReadOnly => UbClass::Permission,
+        Ub::SignedOverflow | Ub::DivisionByZero | Ub::ShiftOutOfRange => UbClass::Arithmetic,
+        Ub::NullDereference => UbClass::NullDeref,
+        Ub::MisalignedAccess => UbClass::Misaligned,
+        // `Ub` is non_exhaustive: future kinds default to the broadest
+        // memory-safety class rather than silently vanishing.
+        _ => UbClass::OutOfBounds,
+    }
+}
+
+/// Which class a hardware trap belongs to.
+#[must_use]
+pub fn class_of_trap(t: TrapKind) -> UbClass {
+    match t {
+        TrapKind::BoundsViolation => UbClass::OutOfBounds,
+        TrapKind::TagViolation => UbClass::TagStripped,
+        TrapKind::PermissionViolation => UbClass::Permission,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_obs::{ALL_TRAPS, ALL_UBS};
+
+    #[test]
+    fn partition_is_total() {
+        // Every dynamic kind has a class, and every class is hit by at
+        // least one dynamic kind or is the documented latent class.
+        let mut hit = std::collections::HashSet::new();
+        for ub in ALL_UBS {
+            hit.insert(class_of_ub(*ub));
+        }
+        for t in ALL_TRAPS {
+            hit.insert(class_of_trap(*t));
+        }
+        for c in ALL_CLASSES {
+            assert!(hit.contains(c), "class {c} unreachable from dynamic kinds");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            ALL_CLASSES.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), ALL_CLASSES.len());
+    }
+}

@@ -1257,7 +1257,7 @@ impl<C: Capability> CheriMemory<C> {
         let addr = p.addr();
         let bytes = self.read_bytes(addr, size);
         if bytes.iter().any(|b| !b.is_init()) {
-            if bytes.iter().any(|b| b.is_init()) && want_intptr {
+            if bytes.iter().any(super::absbyte::AbsByte::is_init) && want_intptr {
                 // Partially-initialised capability representation: a trap
                 // representation (§4.2, UB012).
                 return Err(MemError::ub(
@@ -1324,7 +1324,8 @@ impl<C: Capability> CheriMemory<C> {
             IntVal::Cap { cap, prov, .. }
                 if self.cfg.capabilities && size == C::CAP_BYTES as u64 =>
             {
-                self.store_cap_bytes(addr, cap, *prov)
+                self.store_cap_bytes(addr, cap, *prov);
+                Ok(())
             }
             _ => {
                 let n = v.value();
@@ -1346,7 +1347,7 @@ impl<C: Capability> CheriMemory<C> {
         let addr = p.addr();
         let bytes = self.read_bytes(addr, size);
         if bytes.iter().any(|b| !b.is_init()) {
-            if bytes.iter().any(|b| b.is_init()) {
+            if bytes.iter().any(super::absbyte::AbsByte::is_init) {
                 return Err(MemError::ub(
                     Ub::LvalueReadTrapRepresentation,
                     "partially initialised pointer representation",
@@ -1389,7 +1390,7 @@ impl<C: Capability> CheriMemory<C> {
         let size = self.pointer_bytes() as u64;
         self.check_access(p, size, Access::Store)?;
         if self.cfg.capabilities {
-            self.store_cap_bytes(p.addr(), &v.cap, v.prov)
+            self.store_cap_bytes(p.addr(), &v.cap, v.prov);
         } else {
             let a = v.addr();
             let addr = p.addr();
@@ -1398,11 +1399,11 @@ impl<C: Capability> CheriMemory<C> {
                 .collect();
             self.write_abs_bytes(addr, &abs);
             self.stats.stores += 1;
-            Ok(())
         }
+        Ok(())
     }
 
-    fn store_cap_bytes(&mut self, addr: u64, cap: &C, prov: Provenance) -> MemResult<()> {
+    fn store_cap_bytes(&mut self, addr: u64, cap: &C, prov: Provenance) {
         let enc = cap.encode();
         let cb = C::CAP_BYTES as u64;
         let abs: Vec<AbsByte> = enc
@@ -1424,7 +1425,6 @@ impl<C: Capability> CheriMemory<C> {
             self.caps_invalidate(addr, addr + cb, TagClearReason::MisalignedStore);
         }
         self.stats.stores += 1;
-        Ok(())
     }
 
     // ── memcpy / memset / memcmp ─────────────────────────────────────────

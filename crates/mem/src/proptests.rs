@@ -210,7 +210,7 @@ fn pointer_store_load_roundtrip() {
             let v = if narrow {
                 PtrVal::new(x.prov, x.cap.with_bounds(x.addr() + 16, 16))
             } else {
-                x.clone()
+                x
             };
             let slots = mem.allocate_object("slots", 16 * 16, 16, false, None).expect("slots");
             let p = mem.array_shift(&slots, 16, (slot % 16) as i64).expect("shift");

@@ -1,0 +1,184 @@
+//! Structured diagnostics and their renderers.
+//!
+//! The static analyzer (`cheri-lint`) predicts the dynamic semantics'
+//! verdicts; this module is the *presentation* half: a renderer-agnostic
+//! [`Diagnostic`] record (severity, verdict class, source position,
+//! paper-section anchor, cause notes) plus text and JSON renderers. It
+//! lives in `cheri-obs` next to the event renderers so every layer shares
+//! one output vocabulary and the JSON escaping rules stay in one place.
+//!
+//! The types here are deliberately plain (strings and integers, no
+//! workspace dependencies): `cheri-obs` stays a leaf crate, and the
+//! analyzer converts its richer internal findings into this form.
+
+use std::fmt::Write as _;
+
+use crate::render::json_escape;
+
+/// How certain (and how severe) a diagnostic is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum DiagSeverity {
+    /// Supporting observation (e.g. a tag-clearing mechanism that did not
+    /// itself stop the program).
+    Note,
+    /// The behaviour *may* occur (over-approximation, widened analysis).
+    May,
+    /// The behaviour *must* occur on this profile's execution.
+    Must,
+}
+
+impl DiagSeverity {
+    /// Stable lower-case label used by both renderers.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DiagSeverity::Note => "note",
+            DiagSeverity::May => "may",
+            DiagSeverity::Must => "must",
+        }
+    }
+}
+
+/// One diagnostic: a verdict-class finding anchored to a source position
+/// and a paper section.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Severity / certainty.
+    pub severity: DiagSeverity,
+    /// Short kebab-case class name (e.g. `out-of-bounds`).
+    pub class: String,
+    /// Paper-section anchor (e.g. `§3.1`), empty if none.
+    pub anchor: String,
+    /// 1-based source line (0 = no position).
+    pub line: u32,
+    /// 1-based source column (0 = no position).
+    pub col: u32,
+    /// Human-readable message.
+    pub message: String,
+    /// How many times this diagnostic was observed (deduplicated count).
+    pub count: u64,
+}
+
+impl Diagnostic {
+    /// Render as one text line:
+    /// `must out-of-bounds @3:12 — message [§3.1]` (`×N` when deduplicated).
+    #[must_use]
+    pub fn text_line(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(s, "{:<4} {}", self.severity.label(), self.class);
+        if self.line != 0 {
+            let _ = write!(s, " @{}:{}", self.line, self.col);
+        }
+        let _ = write!(s, " — {}", self.message);
+        if self.count > 1 {
+            let _ = write!(s, " (×{})", self.count);
+        }
+        if !self.anchor.is_empty() {
+            let _ = write!(s, " [{}]", self.anchor);
+        }
+        s
+    }
+
+    /// Render as a single JSON object (one line, stable key order).
+    #[must_use]
+    pub fn json_line(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(s, "{{\"severity\":\"{}\",\"class\":\"", self.severity.label());
+        json_escape(&self.class, &mut s);
+        s.push_str("\",\"anchor\":\"");
+        json_escape(&self.anchor, &mut s);
+        let _ = write!(
+            s,
+            "\",\"line\":{},\"col\":{},\"count\":{},\"message\":\"",
+            self.line, self.col, self.count
+        );
+        json_escape(&self.message, &mut s);
+        s.push_str("\"}");
+        s
+    }
+}
+
+/// Render a batch of diagnostics as text lines (one per diagnostic).
+#[must_use]
+pub fn render_diagnostics_text(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.text_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a batch of diagnostics as a JSON array (one object per line).
+#[must_use]
+pub fn render_diagnostics_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str("  ");
+        out.push_str(&d.json_line());
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            severity: DiagSeverity::Must,
+            class: "out-of-bounds".into(),
+            anchor: "§3.1".into(),
+            line: 3,
+            col: 12,
+            message: "one-past write".into(),
+            count: 1,
+        }
+    }
+
+    #[test]
+    fn text_line_shape() {
+        assert_eq!(
+            sample().text_line(),
+            "must out-of-bounds @3:12 — one-past write [§3.1]"
+        );
+        let mut d = sample();
+        d.count = 4;
+        d.line = 0;
+        d.anchor.clear();
+        assert_eq!(d.text_line(), "must out-of-bounds — one-past write (×4)");
+    }
+
+    #[test]
+    fn json_line_escapes() {
+        let mut d = sample();
+        d.message = "a \"quoted\" msg".into();
+        let j = d.json_line();
+        assert!(j.contains("\\\"quoted\\\""));
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn batch_renderers() {
+        let ds = vec![sample(), sample()];
+        let t = render_diagnostics_text(&ds);
+        assert_eq!(t.lines().count(), 2);
+        let j = render_diagnostics_json(&ds);
+        assert!(j.starts_with("[\n") && j.ends_with("]\n"));
+        assert_eq!(render_diagnostics_json(&[]), "[]\n");
+    }
+
+    #[test]
+    fn severity_order() {
+        assert!(DiagSeverity::Must > DiagSeverity::May);
+        assert!(DiagSeverity::May > DiagSeverity::Note);
+    }
+}

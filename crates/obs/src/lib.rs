@@ -16,7 +16,10 @@
 //!   versioned header, streamable);
 //! * [`render`] — text and JSON renderers; [`render::legacy_line`] is
 //!   byte-identical to the pre-`cheri-obs` `--trace` output;
-//! * [`diff`] — the [`TraceDiff`] engine aligning two event streams
+//! * [`diag`] — structured [`Diagnostic`] records (severity, verdict class,
+//!   position, paper anchor) with text and JSON renderers, used by the
+//!   `cheri-lint` static analyzer;
+//! * [`mod@diff`] — the [`TraceDiff`] engine aligning two event streams
 //!   (optionally normalizing addresses to allocation-relative coordinates)
 //!   and reporting the first divergence with context;
 //! * [`kinds`] — the [`Ub`] and [`TrapKind`] taxonomies (moved here from
@@ -29,12 +32,14 @@
 #![warn(missing_docs)]
 
 pub mod binfmt;
+pub mod diag;
 pub mod diff;
 pub mod event;
 pub mod kinds;
 pub mod render;
 pub mod sink;
 
+pub use diag::{render_diagnostics_json, render_diagnostics_text, DiagSeverity, Diagnostic};
 pub use diff::{diff, render_diff, DiffMode, Normalizer, TraceDiff};
 pub use event::{
     AllocClass, EventKind, MemEvent, Name, TagClearReason, EVENT_KINDS, TAG_CLEAR_REASONS,

@@ -79,7 +79,7 @@ pub fn full_line(ev: &MemEvent) -> String {
 }
 
 /// Escape a string for inclusion in a JSON string literal.
-fn json_escape(s: &str, out: &mut String) {
+pub(crate) fn json_escape(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),

@@ -101,6 +101,10 @@ impl Bencher {
     /// Time `f`, automatically choosing an iteration count so each sample
     /// runs for roughly the target duration. The closure's output is passed
     /// through [`black_box`] so the workload is not optimised away.
+    ///
+    /// Named `iter` for criterion API compatibility, so benches port over
+    /// unchanged — it times iterations rather than returning an iterator.
+    #[allow(clippy::iter_not_returning_iterator)]
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // Warm up and calibrate.
         let warm_start = Instant::now();
@@ -267,7 +271,7 @@ mod tests {
                     acc = acc.wrapping_add(black_box(i));
                 }
                 acc
-            })
+            });
         });
         let mut g = c.benchmark_group("grp");
         g.sample_size(2);

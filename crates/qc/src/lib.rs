@@ -10,7 +10,7 @@
 //!   xoshiro256++ [`rng::Rng`] for generation) with a `rand`-shaped API;
 //! * [`prop`] — a property-test harness: deterministic case generation,
 //!   seed-pinned replay via `CHERI_QC_SEED`, and input [`prop::Shrink`]ing;
-//! * [`bench`] — a criterion-shaped micro-benchmark timer for
+//! * [`mod@bench`] — a criterion-shaped micro-benchmark timer for
 //!   `harness = false` bench targets.
 //!
 //! Everything is deterministic by construction: no entropy, no wall-clock

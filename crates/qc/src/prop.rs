@@ -300,7 +300,7 @@ where
             let hook = panic::take_hook();
             panic::set_hook(Box::new(|_| {}));
             let (minimal, last_msg, steps) =
-                shrink_failure(&prop, value.clone(), first_msg.clone(), cfg.max_shrink_steps);
+                shrink_failure(&prop, value.clone(), first_msg, cfg.max_shrink_steps);
             panic::set_hook(hook);
 
             panic!(
@@ -349,7 +349,7 @@ mod tests {
 
     #[test]
     fn passing_property_is_silent() {
-        check("tautology", Config::cases(50), |rng| rng.gen::<u64>(), |_| {});
+        check("tautology", Config::cases(50), super::super::rng::Rng::gen::<u64>, |_| {});
     }
 
     #[test]
@@ -403,7 +403,7 @@ mod tests {
     fn deterministic_inputs_across_runs() {
         let collect = || {
             let mut seen = Vec::new();
-            check("collect", Config::cases(30), |rng| rng.gen::<u64>(), |&v| {
+            check("collect", Config::cases(30), super::super::rng::Rng::gen::<u64>, |&v| {
                 // Property never fails; we abuse it to observe inputs.
                 let _ = v;
             });

@@ -5,7 +5,7 @@ use crate::Category::*;
 use crate::Expected::*;
 use crate::TestCase;
 
-pub(crate) fn tests() -> Vec<TestCase> {
+pub fn tests() -> Vec<TestCase> {
     vec![
         tc(
             "align/local-pointer-object",

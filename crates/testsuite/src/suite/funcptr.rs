@@ -6,7 +6,7 @@ use crate::Expected::*;
 use crate::TestCase;
 use cheri_mem::Ub;
 
-pub(crate) fn tests() -> Vec<TestCase> {
+pub fn tests() -> Vec<TestCase> {
     vec![
         tc(
             "fp/basic-indirect-call",

@@ -11,7 +11,7 @@ mod unforge;
 use crate::{Category, Expected, TestCase};
 
 /// Shared constructor used by the submodules.
-pub(crate) fn tc(
+pub fn tc(
     id: &'static str,
     cats: &'static [Category],
     desc: &'static str,
@@ -32,7 +32,7 @@ pub(crate) fn tc(
 }
 
 /// All tests, in stable order.
-pub(crate) fn all() -> Vec<TestCase> {
+pub fn all() -> Vec<TestCase> {
     let mut v = Vec::new();
     v.extend(align_alloc::tests());
     v.extend(pointers::tests());

@@ -7,7 +7,7 @@ use crate::Expected::*;
 use crate::TestCase;
 use cheri_mem::Ub;
 
-pub(crate) fn tests() -> Vec<TestCase> {
+pub fn tests() -> Vec<TestCase> {
     vec![
         tc(
             "uintptr/sizeof-is-capability-size",

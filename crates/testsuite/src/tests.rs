@@ -1,7 +1,7 @@
 //! Suite self-checks: Table 1 counts, uniqueness, and behavioural
 //! verification of every test under every profile.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use cheri_core::Profile;
 
@@ -63,11 +63,11 @@ fn suite_shape_matches_section_5() {
 #[test]
 fn test_ids_unique_and_tagged() {
     let tests = all_tests();
-    let mut seen = BTreeMap::new();
+    let mut seen = BTreeSet::new();
     for t in &tests {
         assert!(!t.cats.is_empty(), "{} has no categories", t.id);
         assert!(
-            seen.insert(t.id, ()).is_none(),
+            seen.insert(t.id),
             "duplicate test id {}",
             t.id
         );

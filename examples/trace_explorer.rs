@@ -14,6 +14,7 @@
 //! ```
 
 use cheri_c::core::{run_traced, Profile};
+use cheri_c::lint::{lint, LintMode};
 use cheri_c::obs::{diff, render, render_diff, DiffMode};
 
 /// The §3.1 one-past write: UB to the reference semantics, a capability
@@ -41,12 +42,41 @@ int main(void) {
 }
 "#;
 
+/// One-line static verdict for a profile, e.g. `must-ub (out-of-bounds)`.
+fn static_verdict(src: &str, profile: &Profile) -> String {
+    match lint(src, profile) {
+        Err(e) => format!("front-end error: {e}"),
+        Ok(report) => {
+            let mut s = report.overall().label().to_string();
+            if let Some(class) = report.must_class() {
+                s.push_str(&format!(" ({class})"));
+            }
+            if let LintMode::Widened(reason) = &report.mode {
+                s.push_str(&format!(" [widened: {reason}]"));
+            }
+            s
+        }
+    }
+}
+
 fn explore(title: &str, src: &str, left: &Profile, right: &Profile) {
     println!("── {title}: {} vs {} ──", left.name, right.name);
     let (lr, levs) = run_traced(src, left);
     let (rr, revs) = run_traced(src, right);
-    println!("  {:<20} {} ({} events)", left.name, lr.outcome, levs.len());
-    println!("  {:<20} {} ({} events)", right.name, rr.outcome, revs.len());
+    println!(
+        "  {:<20} {} ({} events)   [static: {}]",
+        left.name,
+        lr.outcome,
+        levs.len(),
+        static_verdict(src, left)
+    );
+    println!(
+        "  {:<20} {} ({} events)   [static: {}]",
+        right.name,
+        rr.outcome,
+        revs.len(),
+        static_verdict(src, right)
+    );
     match diff(&levs, &revs, DiffMode::Normalized, 3) {
         None => println!("  no divergence: the normalized event streams are identical\n"),
         Some(d) => {

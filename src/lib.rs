@@ -4,6 +4,7 @@
 //! capability models and [`cheri_mem`] for the memory object model.
 pub use cheri_cap as cap;
 pub use cheri_core as core;
+pub use cheri_lint as lint;
 pub use cheri_mem as mem;
 pub use cheri_obs as obs;
 pub use cheri_testsuite as testsuite;

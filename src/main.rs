@@ -7,6 +7,7 @@
 use std::process::ExitCode;
 
 use cheri_c::core::{compile_for, run_with, Interp, Outcome, Profile};
+use cheri_c::lint::{lint_with, LintMode, LintReport};
 use cheri_cap::{Capability, CheriotCap, MorelloCap};
 use cheri_mem::{MemEvent, MemStats, TagClearReason};
 use cheri_obs::{binfmt, render, DiffMode};
@@ -22,6 +23,12 @@ enum TraceFormat {
     Bin,
 }
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LintFormat {
+    Text,
+    Json,
+}
+
 struct Options {
     file: Option<String>,
     profile: String,
@@ -33,6 +40,8 @@ struct Options {
     trace_diff: bool,
     stats: bool,
     list: bool,
+    lint: bool,
+    lint_format: LintFormat,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -47,6 +56,8 @@ fn parse_args() -> Result<Options, String> {
         trace_diff: false,
         stats: false,
         list: false,
+        lint: false,
+        lint_format: LintFormat::Text,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -76,6 +87,20 @@ fn parse_args() -> Result<Options, String> {
                 o.trace_out = Some(args.next().ok_or("--trace-out needs a value")?);
             }
             "--trace-diff" => o.trace_diff = true,
+            "--lint" => o.lint = true,
+            "--lint-format" => {
+                let v = args.next().ok_or("--lint-format needs a value")?;
+                o.lint_format = match v.as_str() {
+                    "text" => LintFormat::Text,
+                    "json" => LintFormat::Json,
+                    other => {
+                        return Err(format!(
+                            "unknown lint format {other} (expected text or json)"
+                        ))
+                    }
+                };
+                o.lint = true;
+            }
             "--stats" => o.stats = true,
             "--list-profiles" => o.list = true,
             "--help" | "-h" => {
@@ -232,6 +257,51 @@ fn report_trace_diffs(runs: &[(String, Vec<MemEvent>)]) {
     }
 }
 
+/// Run the static analyzer over every selected profile and print the
+/// reports. Exit code is the worst verdict across profiles: 0 clean,
+/// 3 may-UB, 4 must-UB (2 on front-end errors).
+fn run_lint(src: &str, profiles: &[Profile], opts: &Options) -> ExitCode {
+    let mut worst = 0u8;
+    for p in profiles {
+        if profiles.len() > 1 {
+            println!("── {} ──", p.name);
+        }
+        let report: Result<LintReport, String> = match opts.arch.as_str() {
+            "cheriot" => lint_with::<CheriotCap>(src, p),
+            _ => lint_with::<MorelloCap>(src, p),
+        };
+        match report {
+            Ok(r) => {
+                match opts.lint_format {
+                    LintFormat::Text => print!("{}", r.render_text()),
+                    LintFormat::Json => print!("{}", r.render_json()),
+                }
+                worst = worst.max(r.exit_code() as u8);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    ExitCode::from(worst)
+}
+
+/// One-line lint verdict shown next to the dynamic outcome in `--all`
+/// comparison tables.
+fn lint_summary<C: Capability>(src: &str, profile: &Profile) -> String {
+    match lint_with::<C>(src, profile) {
+        Ok(r) => {
+            let mode = match r.mode {
+                LintMode::Definite => "",
+                LintMode::Widened(_) => " (widened)",
+            };
+            format!("{}{mode}", r.overall())
+        }
+        Err(_) => "n/a".to_string(),
+    }
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -273,6 +343,9 @@ fn main() -> ExitCode {
             }
         }
     };
+    if opts.lint {
+        return run_lint(&src, &profiles, &opts);
+    }
     let mut last = Outcome::Exit(0);
     let mut runs: Vec<(String, Vec<MemEvent>)> = Vec::new();
     for p in &profiles {
@@ -285,11 +358,15 @@ fn main() -> ExitCode {
         };
         last = outcome;
         if profiles.len() > 1 {
-            println!("→ {last}");
+            let verdict = match opts.arch.as_str() {
+                "cheriot" => lint_summary::<CheriotCap>(&src, p),
+                _ => lint_summary::<MorelloCap>(&src, p),
+            };
+            println!("→ {last}   [lint: {verdict}]");
         }
         if opts.trace_diff {
             if let Some(events) = events {
-                runs.push((p.name.to_string(), events));
+                runs.push((p.name.clone(), events));
             }
         }
     }

@@ -1,0 +1,187 @@
+//! Golden-file tests for the static analyzer's rendered reports.
+//!
+//! One hand-written program per UB verdict class (plus a sub-object
+//! bounds case that is only flagged under the `subobject-safe` profile),
+//! each captured in both the text and the JSON rendering. The goldens pin
+//! the full report surface: overall verdict, analysis mode, predicted
+//! outcome label, the per-class table and every diagnostic line.
+//!
+//! Regenerate after an intentional format or verdict change:
+//! `CHERI_GOLDEN_BLESS=1 cargo test --test lint_golden`.
+
+use std::path::PathBuf;
+
+use cheri_c::core::Profile;
+use cheri_c::lint::lint;
+
+/// `(name, profile, source)` — each chosen so the named class is the
+/// verdict's subject under that profile.
+const CASES: &[(&str, &str, &str)] = &[
+    (
+        "oob",
+        "cerberus",
+        r#"
+        int main(void) {
+          int a[2];
+          a[2] = 1;
+          return 0;
+        }
+    "#,
+    ),
+    (
+        "oob_subobject",
+        "clang-morello-O0-subobject-safe",
+        r#"
+        struct pair { int fst[2]; int snd; };
+        int main(void) {
+          struct pair p;
+          p.snd = 7;
+          int *q = p.fst;
+          return q[2];
+        }
+    "#,
+    ),
+    (
+        "use_after_free",
+        "cerberus",
+        r#"
+        int main(void) {
+          int *p = malloc(sizeof(int));
+          *p = 5;
+          free(p);
+          return *p;
+        }
+    "#,
+    ),
+    (
+        "uninit",
+        "cerberus",
+        r#"
+        int main(void) {
+          int x;
+          return x;
+        }
+    "#,
+    ),
+    (
+        "provenance",
+        "cerberus",
+        r#"
+        int main(void) {
+          int a = 1;
+          int b = 2;
+          int *p = &a;
+          int *q = &b;
+          return p - q;
+        }
+    "#,
+    ),
+    (
+        "tag_stripped",
+        "clang-morello-O0",
+        r#"
+        int main(void) {
+          char a[8];
+          char *p = a + 1000000;
+          return *p;
+        }
+    "#,
+    ),
+    (
+        "permission",
+        "cerberus",
+        r#"
+        int main(void) {
+          const int x = 1;
+          int *p = (int *)&x;
+          *p = 2;
+          return 0;
+        }
+    "#,
+    ),
+    (
+        "arithmetic",
+        "cerberus",
+        r#"
+        int main(void) {
+          int z = 0;
+          return 1 / z;
+        }
+    "#,
+    ),
+    (
+        "null_deref",
+        "clang-morello-O0",
+        r#"
+        int main(void) {
+          int *p = 0;
+          return *p;
+        }
+    "#,
+    ),
+    (
+        "misaligned_store",
+        "clang-morello-O0",
+        r#"
+        int main(void) {
+          int x = 7;
+          int *a[4];
+          a[0] = &x;
+          char *b = (char *)a;
+          *(int **)(b + 1) = &x;
+          return x;
+        }
+    "#,
+    ),
+];
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("lint")
+}
+
+fn profile_by_name(name: &str) -> Profile {
+    match name {
+        "cerberus" => Profile::cerberus(),
+        "clang-morello-O0" => Profile::clang_morello(false),
+        "clang-morello-O0-subobject-safe" => Profile::clang_morello_subobject_safe(),
+        other => panic!("unknown golden profile {other}"),
+    }
+}
+
+#[test]
+fn lint_reports_match_golden_files() {
+    let bless = std::env::var("CHERI_GOLDEN_BLESS").is_ok();
+    let dir = golden_dir();
+    if bless {
+        std::fs::create_dir_all(&dir).expect("create golden dir");
+    }
+    let mut failures = Vec::new();
+    for (name, profile_name, src) in CASES {
+        let profile = profile_by_name(profile_name);
+        let report = lint(src, &profile)
+            .unwrap_or_else(|e| panic!("{name}: lint failed to compile: {e}"));
+        for (ext, got) in [("txt", report.render_text()), ("json", report.render_json())] {
+            let path = dir.join(format!("{name}.{ext}"));
+            if bless {
+                std::fs::write(&path, &got).expect("write golden");
+                continue;
+            }
+            let want = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+            if got != want {
+                failures.push(format!(
+                    "{name}.{ext}: report differs from golden\n--- golden\n{want}\n--- got\n{got}"
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} golden mismatches:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

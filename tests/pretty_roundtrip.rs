@@ -1,0 +1,175 @@
+//! Pretty-printer round-trip property: for a generated program `p`,
+//! `parse(pretty(p))` must re-typecheck to the same typed AST (up to
+//! source positions, which necessarily shift).
+//!
+//! This pins the pretty-printer as a faithful inverse of the parser on
+//! the reachable program space — which is what makes shrunk corpus
+//! reproducers and `--lint` diagnostics trustworthy: the program we show
+//! is the program we analyzed. Runs over the deterministic oracle-fuzz
+//! generator (both families) and the full Table-1 testsuite in the
+//! in-tree `cheri-qc` style: fixed seeds, no external dependencies, a
+//! failing seed prints both programs.
+
+use cheri_bench::progen::generate_traced;
+use cheri_c::core::parse::parse;
+use cheri_c::core::pretty::print_program;
+use cheri_c::core::tast::{TProgram, TStmt};
+use cheri_c::core::typeck::check;
+use cheri_c::core::types::TargetLayout;
+use cheri_testsuite::all_tests;
+
+/// Canonicalize block structure before comparing. The printer changes it
+/// in two (semantics-preserving — the typechecker has already α-renamed
+/// every declaration, so typed `Block`s carry no binding structure) ways:
+/// every `if`/loop body gains braces (`while (c) s;` re-parses as
+/// `while (c) { s; }`), and a multi-declarator group — which the
+/// typechecker wraps in a `Block` — prints as bare sibling declarations.
+/// Canonical form: every statement list is fully flattened (no nested
+/// `Block` inside a list) and every `if`/loop body is a `Block`.
+fn canon_list(stmts: &mut Vec<TStmt>) {
+    let mut out = Vec::with_capacity(stmts.len());
+    for mut s in std::mem::take(stmts) {
+        canon(&mut s);
+        match s {
+            TStmt::Block(inner) => out.extend(inner),
+            other => out.push(other),
+        }
+    }
+    *stmts = out;
+}
+
+fn canon(s: &mut TStmt) {
+    fn as_block(b: &mut TStmt) {
+        canon(b);
+        if !matches!(b, TStmt::Block(_)) {
+            let inner = std::mem::replace(b, TStmt::Empty);
+            *b = TStmt::Block(vec![inner]);
+        }
+    }
+    match s {
+        TStmt::Block(body) => canon_list(body),
+        TStmt::If(_, t, e) => {
+            as_block(t);
+            if let Some(e) = e {
+                as_block(e);
+            }
+        }
+        TStmt::While(_, b) | TStmt::DoWhile(b, _) => as_block(b),
+        TStmt::For { init, body, .. } => {
+            if let Some(i) = init {
+                canon(i);
+            }
+            as_block(body);
+        }
+        TStmt::Switch(_, cases) => {
+            for (_, body) in cases {
+                canon_list(body);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Debug-format a typed program deterministically: functions sorted by
+/// name (HashMap order is unstable) and all `Pos { .. }` spans erased
+/// (pretty-printing legitimately moves code).
+fn fingerprint(t: &TProgram) -> String {
+    let mut t = t.clone();
+    for f in t.funcs.values_mut() {
+        canon_list(&mut f.body);
+    }
+    let mut s = String::new();
+    s.push_str(&format!("{:?}\n", t.types));
+    s.push_str(&format!("{:?}\n", t.globals));
+    let mut names: Vec<&String> = t.funcs.keys().collect();
+    names.sort();
+    for name in names {
+        s.push_str(&format!("{name}: {:?}\n", t.funcs[name]));
+    }
+    strip_positions(&s)
+}
+
+/// Remove every `Pos { line: N, col: M }` occurrence (the struct's Debug
+/// form is flat, so scanning to the next `}` is exact).
+fn strip_positions(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(i) = rest.find("Pos {") {
+        out.push_str(&rest[..i]);
+        out.push_str("Pos");
+        let after = &rest[i..];
+        match after.find('}') {
+            Some(j) => rest = &after[j + 1..],
+            None => {
+                rest = "";
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+fn roundtrip(label: &str, src: &str) -> Result<(), String> {
+    let layout = TargetLayout { ptr_size: 16 };
+    let p1 = parse(src, layout).map_err(|e| format!("{label}: original parse failed: {e}"))?;
+    let printed = print_program(&p1.program, &p1.types);
+    let p2 = parse(&printed, layout)
+        .map_err(|e| format!("{label}: re-parse of pretty output failed: {e}\n--- pretty\n{printed}"))?;
+    let t1 = check(p1).map_err(|e| format!("{label}: original typecheck failed: {e}"))?;
+    let t2 = check(p2).map_err(|e| {
+        format!("{label}: re-typecheck of pretty output failed: {e}\n--- pretty\n{printed}")
+    })?;
+    let (f1, f2) = (fingerprint(&t1), fingerprint(&t2));
+    if f1 != f2 {
+        // Locate the first differing line for a readable failure.
+        let diff = f1
+            .lines()
+            .zip(f2.lines())
+            .find(|(a, b)| a != b)
+            .map(|(a, b)| format!("first diff:\n  orig:  {a}\n  rtrip: {b}"))
+            .unwrap_or_else(|| "fingerprints differ in length".to_string());
+        return Err(format!(
+            "{label}: TAST changed across pretty round-trip\n{diff}\n--- source\n{src}\n--- pretty\n{printed}"
+        ));
+    }
+    Ok(())
+}
+
+#[test]
+fn progen_programs_roundtrip() {
+    let seeds: u64 = std::env::var("CHERI_QC_CORPUS_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(128);
+    let mut failures = Vec::new();
+    for seed in 0..seeds {
+        for buggy in [false, true] {
+            let src = generate_traced(seed, buggy).source();
+            if let Err(e) = roundtrip(&format!("seed {seed} buggy={buggy}"), &src) {
+                failures.push(e);
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} round-trip failures:\n{}",
+        failures.len(),
+        failures.join("\n\n")
+    );
+}
+
+#[test]
+fn table1_programs_roundtrip() {
+    let mut failures = Vec::new();
+    for t in all_tests() {
+        if let Err(e) = roundtrip(t.id, t.source) {
+            failures.push(e);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} round-trip failures:\n{}",
+        failures.len(),
+        failures.join("\n\n")
+    );
+}
