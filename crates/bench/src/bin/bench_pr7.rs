@@ -1,0 +1,203 @@
+//! `bench_pr7` — bytecode VM vs tree interpreter.
+//!
+//! Measures the PR 7 execution-engine rewrite: the typed AST lowered to a
+//! flat register bytecode (`cheri_core::ir`) executed by a match-on-opcode
+//! loop, against the original recursive tree walker kept behind
+//! `Engine::Tree`. Both engines run in the *same* process against the same
+//! flat-buffer store; the comparison is written to `BENCH_pr7.json`
+//! (path = first CLI argument, default `./BENCH_pr7.json`).
+//!
+//! Workloads:
+//!
+//! * `interp_end_to_end` — the whole pipeline (parse → typecheck →
+//!   execute) on a malloc-churn + array-sum program, under three
+//!   profiles (reference, CHERI hardware O0, optimising GCC emulation);
+//! * `dispatch_loop` — a tight arithmetic loop on a pre-compiled (and,
+//!   for the VM, pre-lowered) program, isolating pure dispatch cost;
+//! * `lowering` — the AST→bytecode lowering pass alone, reported both as
+//!   ns per run and ns per lowered instruction.
+//!
+//! Exit status is non-zero if the bytecode engine is *slower* than the
+//! tree engine on `interp_end_to_end/cerberus` — the CI perf-smoke gate.
+//! `CHERI_QC_BENCH_FAST=1` shrinks samples for CI.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use cheri_core::ir::{lower, IrProgram};
+use cheri_core::{compile_for, Engine, Interp, MorelloCap, Outcome, Profile};
+
+use cheri_qc::bench::{black_box, Bench, Stats};
+
+/// Malloc churn + array sums: the BENCH_pr3 end-to-end workload family,
+/// scaled up so interpretation dominates the (fixed) front-end cost.
+const CHURN_PROGRAM: &str = r#"
+int main(void) {
+  long acc = 0;
+  for (int i = 0; i < 64; i++) {
+    int *p = malloc(128 * sizeof(int));
+    for (int j = 0; j < 128; j++) p[j] = j ^ i;
+    for (int j = 0; j < 128; j++) acc += p[j];
+    free(p);
+  }
+  return acc > 0 ? 0 : 1;
+}"#;
+
+/// A tight arithmetic loop: no allocation after the locals, so the run
+/// time is dominated by statement/expression dispatch.
+const DISPATCH_PROGRAM: &str = r#"
+int main(void) {
+  long s = 0;
+  for (int i = 0; i < 20000; i++) {
+    s += (i * 3) ^ (s & 7);
+    s -= i >> 2;
+  }
+  return s != 0 ? 0 : 1;
+}"#;
+
+fn engine_of(name: &str) -> Engine {
+    match name {
+        "tree" => Engine::Tree,
+        _ => Engine::Bytecode,
+    }
+}
+
+/// Whole-pipeline run; asserts the workload stays well-defined so the two
+/// engines are compared on identical work.
+fn end_to_end(profile: &Profile, engine: Engine) {
+    let r = cheri_core::run_with_engine::<MorelloCap>(CHURN_PROGRAM, profile, engine);
+    assert!(
+        matches!(r.outcome, Outcome::Exit(0)),
+        "end-to-end workload must be well-defined: {:?}",
+        r.outcome
+    );
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr7.json".into());
+    let fast = std::env::var("CHERI_QC_BENCH_FAST").is_ok();
+    let mut c = Bench::new();
+
+    let profiles = [
+        Profile::cerberus(),
+        Profile::clang_morello(false),
+        Profile::gcc_morello(true),
+    ];
+
+    for engine_name in ["tree", "bytecode"] {
+        let engine = engine_of(engine_name);
+        for profile in &profiles {
+            c.bench_function(
+                format!("interp_end_to_end/{}/{engine_name}", profile.name),
+                |b| b.iter(|| end_to_end(profile, engine)),
+            );
+        }
+    }
+
+    // Dispatch microbenchmark: compile (and lower) once, execute per
+    // iteration, so the measurement isolates the engines' dispatch.
+    let profile = Profile::cerberus();
+    let dispatch_prog =
+        compile_for::<MorelloCap>(DISPATCH_PROGRAM, &profile).expect("dispatch program compiles");
+    let dispatch_ir: Arc<IrProgram> = Arc::new(lower(&dispatch_prog));
+    for engine_name in ["tree", "bytecode"] {
+        let engine = engine_of(engine_name);
+        c.bench_function(format!("dispatch_loop/cerberus/{engine_name}"), |b| {
+            b.iter(|| {
+                let it = Interp::<MorelloCap>::new(&dispatch_prog, &profile);
+                let it = if engine == Engine::Bytecode {
+                    it.with_ir(Arc::clone(&dispatch_ir))
+                } else {
+                    it.with_engine(engine)
+                };
+                let r = it.run();
+                assert!(matches!(r.outcome, Outcome::Exit(0)));
+                black_box(r.mem_stats)
+            });
+        });
+    }
+
+    // Lowering cost: the AST→bytecode pass alone.
+    let churn_prog =
+        compile_for::<MorelloCap>(CHURN_PROGRAM, &profile).expect("churn program compiles");
+    let lowered_insts = lower(&churn_prog).code_len();
+    c.bench_function("lowering/churn_program", |b| {
+        b.iter(|| black_box(lower(&churn_prog).code_len()));
+    });
+
+    let results: Vec<Stats> = c.results().to_vec();
+    let median = |id: &str| {
+        results
+            .iter()
+            .find(|s| s.id == id)
+            .map(|s| s.median)
+            .expect("benchmark ran")
+    };
+
+    let bases: Vec<String> = profiles
+        .iter()
+        .map(|p| format!("interp_end_to_end/{}", p.name))
+        .chain(std::iter::once("dispatch_loop/cerberus".to_string()))
+        .collect();
+
+    let lowering_ns = median("lowering/churn_program");
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"BENCH_pr7\",");
+    let _ = writeln!(json, "  \"fast_mode\": {fast},");
+    let _ = writeln!(
+        json,
+        "  \"lowering\": {{\"median_ns\": {lowering_ns:.1}, \"insts\": {lowered_insts}, \"ns_per_inst\": {:.2}}},",
+        lowering_ns / lowered_insts as f64
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, s) in results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"iters_per_sample\": {}}}{}",
+            s.id,
+            s.median,
+            s.mean,
+            s.min,
+            s.iters_per_sample,
+            if i + 1 == results.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"speedup_bytecode_over_tree\": {\n");
+    for (i, base) in bases.iter().enumerate() {
+        let speedup = median(&format!("{base}/tree")) / median(&format!("{base}/bytecode"));
+        let _ = writeln!(
+            json,
+            "    \"{base}\": {speedup:.2}{}",
+            if i + 1 == bases.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  },\n");
+
+    let gate_base = "interp_end_to_end/cerberus";
+    let tree_ns = median(&format!("{gate_base}/tree"));
+    let byte_ns = median(&format!("{gate_base}/bytecode"));
+    let pass = byte_ns <= tree_ns;
+    let _ = writeln!(
+        json,
+        "  \"gate\": {{\"bench\": \"{gate_base}\", \"tree_median_ns\": {tree_ns:.1}, \"bytecode_median_ns\": {byte_ns:.1}, \"speedup\": {:.2}, \"pass\": {pass}}}",
+        tree_ns / byte_ns
+    );
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_pr7.json");
+    println!("\nwrote {out_path}");
+    println!(
+        "gate {gate_base}: tree {tree_ns:.0} ns/iter, bytecode {byte_ns:.0} ns/iter, speedup {:.2}x — {}",
+        tree_ns / byte_ns,
+        if pass { "PASS" } else { "FAIL" }
+    );
+    if !pass {
+        std::process::exit(1);
+    }
+}

@@ -48,7 +48,7 @@ pub enum Value<C> {
 }
 
 impl<C: Capability> Value<C> {
-    fn truthy(&self) -> bool {
+    pub(crate) fn truthy(&self) -> bool {
         match self {
             Value::Void => false,
             Value::Int { v, .. } => v.value() != 0,
@@ -57,21 +57,21 @@ impl<C: Capability> Value<C> {
         }
     }
 
-    fn as_float(&self) -> Option<f64> {
+    pub(crate) fn as_float(&self) -> Option<f64> {
         match self {
             Value::Float { v, .. } => Some(*v),
             _ => None,
         }
     }
 
-    fn as_int(&self) -> Option<&IntVal<C>> {
+    pub(crate) fn as_int(&self) -> Option<&IntVal<C>> {
         match self {
             Value::Int { v, .. } => Some(v),
             _ => None,
         }
     }
 
-    fn as_ptr(&self) -> Option<&PtrVal<C>> {
+    pub(crate) fn as_ptr(&self) -> Option<&PtrVal<C>> {
         match self {
             Value::Ptr { v, .. } => Some(v),
             _ => None,
@@ -97,7 +97,7 @@ enum Flow<C> {
 }
 
 /// Internal error/exit channel.
-enum Stop {
+pub(crate) enum Stop {
     Mem(MemError),
     Assert(String),
     Abort,
@@ -112,7 +112,23 @@ impl From<MemError> for Stop {
     }
 }
 
-type EResult<T> = Result<T, Stop>;
+pub(crate) type EResult<T> = Result<T, Stop>;
+
+/// Which execution engine drives a run. Both engines share the memory
+/// model, value semantics and builtins; they differ only in how control
+/// flow is dispatched (recursive tree walk vs flat bytecode loop), so
+/// outcomes, statistics and event traces are identical (pinned by the
+/// `engine_differential` property test).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// The original recursive AST walker — kept as the differential
+    /// oracle for the bytecode engine (see DESIGN.md §10).
+    Tree,
+    /// The flat bytecode VM over the lowered IR (default; ~an order of
+    /// magnitude faster on dispatch-bound programs).
+    #[default]
+    Bytecode,
+}
 
 struct Frame<C: Capability> {
     vars: HashMap<String, (PtrVal<C>, Ty)>,
@@ -122,19 +138,21 @@ struct Frame<C: Capability> {
 /// The interpreter.
 pub struct Interp<'p, C: Capability> {
     prog: &'p TProgram,
-    profile: &'p Profile,
+    pub(crate) profile: &'p Profile,
     /// The memory object model instance (exposed for statistics).
     pub mem: CheriMemory<C>,
-    globals: HashMap<String, (PtrVal<C>, Ty)>,
-    func_ptrs: HashMap<String, PtrVal<C>>,
-    addr_to_func: HashMap<u64, String>,
+    pub(crate) globals: HashMap<String, (PtrVal<C>, Ty)>,
+    pub(crate) func_ptrs: HashMap<String, PtrVal<C>>,
+    pub(crate) addr_to_func: HashMap<u64, String>,
     strings: HashMap<String, PtrVal<C>>,
     stdout: String,
     stderr: String,
     steps: u64,
     max_steps: u64,
-    call_depth: u32,
+    pub(crate) call_depth: u32,
     unspecified_reads: u32,
+    engine: Engine,
+    ir_cache: Option<std::sync::Arc<crate::ir::IrProgram>>,
 }
 
 fn types_size(tt: &TypeTable, ty: &Ty) -> u64 {
@@ -159,7 +177,26 @@ impl<'p, C: Capability> Interp<'p, C> {
             max_steps: 50_000_000,
             call_depth: 0,
             unspecified_reads: 0,
+            engine: Engine::default(),
+            ir_cache: None,
         }
+    }
+
+    /// Select the execution engine (defaults to [`Engine::Bytecode`]).
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Supply a pre-lowered IR program (implies [`Engine::Bytecode`]),
+    /// avoiding re-lowering when the same program is run repeatedly —
+    /// e.g. across the 7 profiles of a `--all` comparison.
+    #[must_use]
+    pub fn with_ir(mut self, ir: std::sync::Arc<crate::ir::IrProgram>) -> Self {
+        self.ir_cache = Some(ir);
+        self.engine = Engine::Bytecode;
+        self
     }
 
     /// Run the program: initialise globals and functions, call `main`.
@@ -235,6 +272,32 @@ impl<'p, C: Capability> Interp<'p, C> {
     }
 
     fn run_inner(&mut self) -> EResult<i64> {
+        self.setup_world()?;
+        match self.engine {
+            Engine::Tree => {
+                let main = &self.prog.funcs["main"];
+                match self.call_function(main, Vec::new())? {
+                    Value::Int { v, .. } => Ok(v.value() as i64),
+                    _ => Ok(0),
+                }
+            }
+            Engine::Bytecode => {
+                let ir = match self.ir_cache.take() {
+                    Some(ir) => ir,
+                    None => std::sync::Arc::new(crate::ir::lower(self.prog)),
+                };
+                let code = crate::ir::vm::execute(self, ir.as_ref());
+                self.ir_cache = Some(ir);
+                code
+            }
+        }
+    }
+
+    /// Build the initial world: function sentries, globals (allocated,
+    /// zeroed, initialised, frozen if const) and stream handles. Shared
+    /// verbatim by both engines, so allocation order — and therefore
+    /// every address and provenance identity — is engine-independent.
+    fn setup_world(&mut self) -> EResult<()> {
         // Function allocations: every defined function gets a 1-byte
         // allocation so function pointers have provenance, bounds and an
         // EXECUTE-permission sentry capability.
@@ -291,15 +354,10 @@ impl<'p, C: Capability> Interp<'p, C> {
                 self.globals.insert(g.name.clone(), (frozen, ty));
             }
         }
-        // Call main.
-        let main = &self.prog.funcs["main"];
-        match self.call_function(main, Vec::new())? {
-            Value::Int { v, .. } => Ok(v.value() as i64),
-            _ => Ok(0),
-        }
+        Ok(())
     }
 
-    fn tick(&mut self) -> EResult<()> {
+    pub(crate) fn tick(&mut self) -> EResult<()> {
         self.steps += 1;
         if self.steps > self.max_steps {
             return Err(Stop::Limit("step limit exceeded".into()));
@@ -307,7 +365,7 @@ impl<'p, C: Capability> Interp<'p, C> {
         Ok(())
     }
 
-    fn ub(&self, ub: Ub, detail: impl Into<String>) -> Stop {
+    pub(crate) fn ub(&self, ub: Ub, detail: impl Into<String>) -> Stop {
         Stop::Mem(MemError::ub(ub, detail))
     }
 
@@ -315,7 +373,7 @@ impl<'p, C: Capability> Interp<'p, C> {
 
     /// Materialise an integer constant at a given type: capability-carrying
     /// types get a NULL-derived capability with the value as address.
-    fn mk_int(&self, ity: IntTy, v: i128) -> IntVal<C> {
+    pub(crate) fn mk_int(&self, ity: IntTy, v: i128) -> IntVal<C> {
         if ity.is_capability() {
             IntVal::Cap {
                 signed: ity.signed(),
@@ -329,7 +387,7 @@ impl<'p, C: Capability> Interp<'p, C> {
 
     /// Convert an integer value between integer types (the runtime half of
     /// `CastKind::IntToInt`).
-    fn convert_int(&self, v: &IntVal<C>, _from: IntTy, to: IntTy) -> IntVal<C> {
+    pub(crate) fn convert_int(&self, v: &IntVal<C>, _from: IntTy, to: IntTy) -> IntVal<C> {
         if to.is_capability() {
             match v {
                 IntVal::Cap { cap, prov, .. } => IntVal::Cap {
@@ -348,7 +406,7 @@ impl<'p, C: Capability> Interp<'p, C> {
     /// the result address is set on the derivation-source capability; if
     /// that makes it non-representable, the tag is cleared and — in the
     /// abstract machine — the ghost state records the excursion.
-    fn derive_cap_result(&self, src: &IntVal<C>, ity: IntTy, addr: i128) -> IntVal<C> {
+    pub(crate) fn derive_cap_result(&self, src: &IntVal<C>, ity: IntTy, addr: i128) -> IntVal<C> {
         let addr = ity.wrap(addr) as u64;
         let ghosted = match src.as_cap() {
             Some(cap) => {
@@ -372,7 +430,7 @@ impl<'p, C: Capability> Interp<'p, C> {
 
     // ── Memory access helpers ────────────────────────────────────────────
 
-    fn load_value(&mut self, p: &PtrVal<C>, ty: &Ty) -> EResult<Value<C>> {
+    pub(crate) fn load_value(&mut self, p: &PtrVal<C>, ty: &Ty) -> EResult<Value<C>> {
         match ty {
             Ty::Int(ity) => {
                 let size = types_size(&self.prog.types, ty);
@@ -405,7 +463,7 @@ impl<'p, C: Capability> Interp<'p, C> {
         }
     }
 
-    fn store_value(&mut self, p: &PtrVal<C>, ty: &Ty, v: &Value<C>) -> EResult<()> {
+    pub(crate) fn store_value(&mut self, p: &PtrVal<C>, ty: &Ty, v: &Value<C>) -> EResult<()> {
         match (ty, v) {
             (Ty::Int(_), Value::Int { v, .. }) => {
                 let size = types_size(&self.prog.types, ty);
@@ -461,7 +519,7 @@ impl<'p, C: Capability> Interp<'p, C> {
         PtrVal::new(p.prov, p.cap.with_bounds(p.addr(), size))
     }
 
-    fn intern_string(&mut self, s: &str) -> EResult<PtrVal<C>> {
+    pub(crate) fn intern_string(&mut self, s: &str) -> EResult<PtrVal<C>> {
         if let Some(p) = self.strings.get(s) {
             return Ok(p.clone());
         }
@@ -1117,7 +1175,7 @@ impl<'p, C: Capability> Interp<'p, C> {
         }
     }
 
-    fn binary_int(
+    pub(crate) fn binary_int(
         &mut self,
         op: BinOp,
         l: &Value<C>,
@@ -1211,7 +1269,7 @@ impl<'p, C: Capability> Interp<'p, C> {
         Ok(Value::Int { ity, v })
     }
 
-    fn binary_float(
+    pub(crate) fn binary_float(
         &mut self,
         op: BinOp,
         l: &Value<C>,
@@ -1249,7 +1307,7 @@ impl<'p, C: Capability> Interp<'p, C> {
         Ok(Value::Float { fty, v })
     }
 
-    fn unary_int(&mut self, op: UnOp, a: &Value<C>, ity: IntTy) -> EResult<Value<C>> {
+    pub(crate) fn unary_int(&mut self, op: UnOp, a: &Value<C>, ity: IntTy) -> EResult<Value<C>> {
         match op {
             UnOp::LogNot => Ok(Value::Int {
                 ity: IntTy::Int,
@@ -1379,7 +1437,7 @@ impl<'p, C: Capability> Interp<'p, C> {
     // ── Builtins and intrinsics ──────────────────────────────────────────
 
     #[allow(clippy::too_many_lines)]
-    fn eval_builtin(
+    pub(crate) fn eval_builtin(
         &mut self,
         b: Builtin,
         mut args: Vec<(Value<C>, Ty)>,

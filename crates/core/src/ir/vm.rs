@@ -1,0 +1,714 @@
+//! The bytecode engine: a flat match-on-opcode loop over [`Inst`].
+//!
+//! The VM owns control flow (explicit frames, pc, registers, slot
+//! bindings) and delegates every *semantic* step — value conversions,
+//! capability derivation, loads/stores, builtins, UB checks — to the same
+//! `Interp` helpers the tree engine uses, so the two engines produce
+//! identical memory-event streams, statistics and error messages by
+//! construction.
+//!
+//! Frame teardown mirrors the tree engine exactly: a returning (or
+//! unwinding) frame kills its locals in reverse allocation order; a kill
+//! error replaces the in-flight error and aborts that frame's remaining
+//! kills, while outer frames still run theirs.
+
+use cheri_cap::{Capability, Perms};
+use cheri_mem::{IntVal, MemError, PtrVal, Ub};
+
+use crate::interp::{EResult, Interp, Stop, Value};
+use crate::types::{FloatTy, IntTy, Ty};
+
+use super::{Inst, IrProgram, Reg};
+
+/// A virtual register: either a value or an object location (lvalue).
+enum RVal<C: Capability> {
+    Val(Value<C>),
+    Loc(PtrVal<C>),
+}
+
+struct VmFrame<C: Capability> {
+    func: u32,
+    pc: u32,
+    regs: Vec<RVal<C>>,
+    slots: Vec<Option<PtrVal<C>>>,
+    to_kill: Vec<PtrVal<C>>,
+    ret_dst: Reg,
+}
+
+fn val<C: Capability>(frame: &VmFrame<C>, r: Reg) -> EResult<&Value<C>> {
+    match &frame.regs[r as usize] {
+        RVal::Val(v) => Ok(v),
+        RVal::Loc(_) => Err(Stop::Unsupported("location register used as value".into())),
+    }
+}
+
+fn loc<C: Capability>(frame: &VmFrame<C>, r: Reg) -> EResult<&PtrVal<C>> {
+    match &frame.regs[r as usize] {
+        RVal::Loc(p) => Ok(p),
+        RVal::Val(_) => Err(Stop::Unsupported("value register used as location".into())),
+    }
+}
+
+/// Run a lowered program to completion against `it` (whose world —
+/// globals, function sentries, streams — must already be set up) and
+/// return the exit code, exactly as the tree engine's `main` call does.
+pub(crate) fn execute<C: Capability>(it: &mut Interp<'_, C>, ir: &IrProgram) -> EResult<i64> {
+    let main = ir.main.expect("program has no `main`");
+    // Dense global location table (post-freeze; setup ran already).
+    let gtab: Vec<PtrVal<C>> = ir
+        .globals
+        .iter()
+        .map(|n| it.globals.get(n).expect("global allocated").0.clone())
+        .collect();
+    let mut frames: Vec<VmFrame<C>> = Vec::new();
+    push_frame(it, ir, &mut frames, main, Vec::new(), 0)?;
+    match run_loop(it, ir, &gtab, &mut frames) {
+        Ok(v) => match v {
+            Value::Int { v, .. } => Ok(v.value() as i64),
+            _ => Ok(0),
+        },
+        Err(e) => Err(unwind(it, &mut frames, e)),
+    }
+}
+
+/// Allocate a callee frame: depth check first, then per-parameter object
+/// allocation + argument store + slot binding, in declaration order. A
+/// parameter-setup error leaves already-allocated objects alive (tree
+/// engine parity: its kill loop is skipped on that path too).
+fn push_frame<C: Capability>(
+    it: &mut Interp<'_, C>,
+    ir: &IrProgram,
+    frames: &mut Vec<VmFrame<C>>,
+    f: u32,
+    args: Vec<Value<C>>,
+    ret_dst: Reg,
+) -> EResult<()> {
+    it.call_depth += 1;
+    if it.call_depth > 256 {
+        it.call_depth -= 1;
+        return Err(Stop::Limit("call depth exceeded".into()));
+    }
+    let func = &ir.funcs[f as usize];
+    let mut frame = VmFrame {
+        func: f,
+        pc: 0,
+        regs: Vec::new(),
+        slots: vec![None; func.n_slots as usize],
+        to_kill: Vec::new(),
+        ret_dst,
+    };
+    frame
+        .regs
+        .resize_with(func.n_regs as usize, || RVal::Val(Value::Void));
+    for (p, v) in func.params.iter().zip(args) {
+        let ty = &ir.types[p.ty.0 as usize];
+        let obj = it
+            .mem
+            .allocate_object(&ir.strs[p.name.0 as usize], p.size, p.align, false, None)?;
+        it.store_value(&obj, ty, &v)?;
+        frame.to_kill.push(obj.clone());
+        frame.slots[p.slot as usize] = Some(obj);
+    }
+    frames.push(frame);
+    Ok(())
+}
+
+/// Pop the top frame with return value `v`: kill locals in reverse, then
+/// either deliver `v` to the caller's destination register or — if that
+/// was the outermost frame — yield it as the program result.
+fn pop_return<C: Capability>(
+    it: &mut Interp<'_, C>,
+    frames: &mut Vec<VmFrame<C>>,
+    v: Value<C>,
+) -> EResult<Option<Value<C>>> {
+    let mut fr = frames.pop().expect("active frame");
+    for p in fr.to_kill.drain(..).rev() {
+        it.mem.kill(&p, false)?;
+    }
+    it.call_depth -= 1;
+    match frames.last_mut() {
+        Some(parent) => {
+            parent.regs[fr.ret_dst as usize] = RVal::Val(v);
+            Ok(None)
+        }
+        None => Ok(Some(v)),
+    }
+}
+
+/// Unwind all live frames after an error, killing each frame's locals
+/// innermost-first. A kill error replaces the propagating error and
+/// aborts that frame's remaining kills (tree-engine semantics).
+fn unwind<C: Capability>(
+    it: &mut Interp<'_, C>,
+    frames: &mut Vec<VmFrame<C>>,
+    mut e: Stop,
+) -> Stop {
+    while let Some(mut fr) = frames.pop() {
+        for p in fr.to_kill.drain(..).rev() {
+            if let Err(ke) = it.mem.kill(&p, false) {
+                e = Stop::Mem(ke);
+                break;
+            }
+        }
+        it.call_depth -= 1;
+    }
+    e
+}
+
+/// A control transfer that needs the whole frame stack: the dispatch loop
+/// executes straight-line code against a single borrowed frame and only
+/// surfaces to push or pop frames, so the per-instruction path touches
+/// neither the frame vector nor the function table.
+enum Xfer<C: Capability> {
+    Call { f: u32, dst: Reg, args: Vec<Value<C>> },
+    Ret(Value<C>),
+}
+
+fn run_loop<C: Capability>(
+    it: &mut Interp<'_, C>,
+    ir: &IrProgram,
+    gtab: &[PtrVal<C>],
+    frames: &mut Vec<VmFrame<C>>,
+) -> EResult<Value<C>> {
+    loop {
+        let xfer = {
+            let frame = frames.last_mut().expect("active frame");
+            let func = &ir.funcs[frame.func as usize];
+            dispatch(it, ir, gtab, frame, func)?
+        };
+        match xfer {
+            Xfer::Call { f, dst, args } => push_frame(it, ir, frames, f, args, dst)?,
+            Xfer::Ret(v) => {
+                if let Some(out) = pop_return(it, frames, v)? {
+                    return Ok(out);
+                }
+            }
+        }
+    }
+}
+
+/// Execute instructions in `frame` until a call or return transfers
+/// control to another frame.
+#[allow(clippy::too_many_lines)]
+fn dispatch<C: Capability>(
+    it: &mut Interp<'_, C>,
+    ir: &IrProgram,
+    gtab: &[PtrVal<C>],
+    frame: &mut VmFrame<C>,
+    func: &super::IrFunc,
+) -> EResult<Xfer<C>> {
+    loop {
+        let inst = &func.code[frame.pc as usize];
+        frame.pc += 1;
+        it.tick()?;
+        match inst {
+            // ── Constants and addresses ─────────────────────────────────
+            Inst::ConstInt { dst, ity, v } => {
+                let v = it.mk_int(*ity, *v);
+                frame.regs[*dst as usize] = RVal::Val(Value::Int { ity: *ity, v });
+            }
+            Inst::ConstFloat { dst, fty, v } => {
+                frame.regs[*dst as usize] = RVal::Val(Value::Float { fty: *fty, v: *v });
+            }
+            Inst::StrLit { dst, s, ty } => {
+                let p = it.intern_string(&ir.strs[s.0 as usize])?;
+                frame.regs[*dst as usize] = RVal::Val(Value::Ptr {
+                    ty: ir.types[ty.0 as usize].clone(),
+                    v: p,
+                });
+            }
+            Inst::FuncAddr { dst, name, ty } => {
+                let nm = &ir.strs[name.0 as usize];
+                let p = it.func_ptrs.get(nm).cloned().ok_or_else(|| {
+                    Stop::Unsupported(format!("unknown function `{nm}`"))
+                })?;
+                frame.regs[*dst as usize] = RVal::Val(Value::Ptr {
+                    ty: ir.types[ty.0 as usize].clone(),
+                    v: p,
+                });
+            }
+            Inst::Move { dst, src } => {
+                let v = match &frame.regs[*src as usize] {
+                    RVal::Val(v) => RVal::Val(v.clone()),
+                    RVal::Loc(p) => RVal::Loc(p.clone()),
+                };
+                frame.regs[*dst as usize] = v;
+            }
+            Inst::BoolOf { dst, src } => {
+                let b = val(frame, *src)?.truthy();
+                frame.regs[*dst as usize] = RVal::Val(Value::Int {
+                    ity: IntTy::Int,
+                    v: IntVal::Num(i128::from(b)),
+                });
+            }
+            Inst::SetVoid { dst } => {
+                frame.regs[*dst as usize] = RVal::Val(Value::Void);
+            }
+
+            // ── Locations ───────────────────────────────────────────────
+            Inst::SlotLoc { dst, slot, name } => {
+                let p = frame.slots[*slot as usize].clone().ok_or_else(|| {
+                    Stop::Unsupported(format!(
+                        "unbound variable `{}`",
+                        ir.strs[name.0 as usize]
+                    ))
+                })?;
+                frame.regs[*dst as usize] = RVal::Loc(p);
+            }
+            Inst::GlobalLoc { dst, g } => {
+                frame.regs[*dst as usize] = RVal::Loc(gtab[g.0 as usize].clone());
+            }
+            Inst::DerefLoc { dst, src } => {
+                let p = match val(frame, *src)? {
+                    Value::Ptr { v, .. } => v.clone(),
+                    Value::Int { v, .. } => it.mem.cast_int_to_ptr(v),
+                    Value::Float { .. } | Value::Void => {
+                        return Err(Stop::Unsupported("deref of non-pointer".into()))
+                    }
+                };
+                frame.regs[*dst as usize] = RVal::Loc(p);
+            }
+            Inst::MemberShift { dst, src, off } => {
+                let q = {
+                    let p = loc(frame, *src)?;
+                    it.mem.member_shift(p, *off)
+                };
+                frame.regs[*dst as usize] = RVal::Loc(q);
+            }
+
+            // ── Memory ──────────────────────────────────────────────────
+            Inst::Load { dst, loc: l, ty } => {
+                let v = {
+                    let p = loc(frame, *l)?;
+                    it.load_value(p, &ir.types[ty.0 as usize])?
+                };
+                frame.regs[*dst as usize] = RVal::Val(v);
+            }
+            Inst::Store { loc: l, ty, src } => {
+                let p = loc(frame, *l)?;
+                let v = val(frame, *src)?;
+                it.store_value(p, &ir.types[ty.0 as usize], v)?;
+            }
+            Inst::AddrOf { dst, loc: l, ty, narrow } => {
+                let p = loc(frame, *l)?.clone();
+                let p = match narrow {
+                    Some(size)
+                        if it.profile.subobject_bounds && it.profile.mem.capabilities =>
+                    {
+                        PtrVal::new(p.prov, p.cap.with_bounds(p.addr(), *size))
+                    }
+                    _ => p,
+                };
+                frame.regs[*dst as usize] = RVal::Val(Value::Ptr {
+                    ty: ir.types[ty.0 as usize].clone(),
+                    v: p,
+                });
+            }
+            Inst::MemcpyAgg { dst, src, n } => {
+                let d = loc(frame, *dst)?.clone();
+                let s = loc(frame, *src)?.clone();
+                it.mem.memcpy(&d, &s, *n)?;
+            }
+            Inst::OptMemcpy { dst, src, n } => {
+                let (d, s) = match (val(frame, *dst)?.as_ptr(), val(frame, *src)?.as_ptr()) {
+                    (Some(d), Some(s)) => (d.clone(), s.clone()),
+                    _ => return Err(Stop::Unsupported("OptMemcpy operands".into())),
+                };
+                let n = val(frame, *n)?.as_int().map(IntVal::value).unwrap_or(0) as u64;
+                it.mem.memcpy(&d, &s, n)?;
+            }
+
+            // ── Arithmetic ──────────────────────────────────────────────
+            Inst::Binary { dst, op, ity, ty, derive, lhs, rhs } => {
+                let res = {
+                    let l = val(frame, *lhs)?;
+                    let r = val(frame, *rhs)?;
+                    if l.as_float().is_some() || r.as_float().is_some() {
+                        it.binary_float(*op, l, r, &ir.types[ty.0 as usize])?
+                    } else {
+                        it.binary_int(*op, l, r, *ity, *derive)?
+                    }
+                };
+                frame.regs[*dst as usize] = RVal::Val(res);
+            }
+            Inst::Unary { dst, op, ity, src } => {
+                let res = it.unary_int(*op, val(frame, *src)?, *ity)?;
+                frame.regs[*dst as usize] = RVal::Val(res);
+            }
+            Inst::PtrAdd { dst, ptr, idx, elem, neg, ty } => {
+                let q = {
+                    let p = val(frame, *ptr)?.as_ptr().ok_or_else(|| {
+                        Stop::Unsupported("pointer arithmetic on non-pointer".into())
+                    })?;
+                    let mut i = val(frame, *idx)?.as_int().map(IntVal::value).unwrap_or(0);
+                    if *neg {
+                        i = -i;
+                    }
+                    it.mem.array_shift(p, *elem, i as i64)?
+                };
+                frame.regs[*dst as usize] = RVal::Val(Value::Ptr {
+                    ty: ir.types[ty.0 as usize].clone(),
+                    v: q,
+                });
+            }
+            Inst::PtrDiff { dst, a, b, elem } => {
+                let d = {
+                    let (ap, bp) = match (val(frame, *a)?.as_ptr(), val(frame, *b)?.as_ptr()) {
+                        (Some(a), Some(b)) => (a, b),
+                        _ => {
+                            return Err(Stop::Unsupported(
+                                "pointer difference operands".into(),
+                            ))
+                        }
+                    };
+                    it.mem.ptr_diff(ap, bp, *elem)?
+                };
+                frame.regs[*dst as usize] = RVal::Val(Value::Int {
+                    ity: IntTy::Long,
+                    v: IntVal::Num(i128::from(d)),
+                });
+            }
+            Inst::PtrCmp { dst, op, a, b } => {
+                use crate::ast::BinOp;
+                let r = {
+                    let (ap, bp) = match (val(frame, *a)?.as_ptr(), val(frame, *b)?.as_ptr()) {
+                        (Some(a), Some(b)) => (a.clone(), b.clone()),
+                        _ => {
+                            return Err(Stop::Unsupported(
+                                "pointer comparison operands".into(),
+                            ))
+                        }
+                    };
+                    match op {
+                        BinOp::Eq => it.mem.ptr_eq(&ap, &bp),
+                        BinOp::Ne => !it.mem.ptr_eq(&ap, &bp),
+                        _ => {
+                            let ord = it.mem.ptr_rel_cmp(&ap, &bp)?;
+                            match op {
+                                BinOp::Lt => ord == std::cmp::Ordering::Less,
+                                BinOp::Le => ord != std::cmp::Ordering::Greater,
+                                BinOp::Gt => ord == std::cmp::Ordering::Greater,
+                                BinOp::Ge => ord != std::cmp::Ordering::Less,
+                                _ => unreachable!("comparison op"),
+                            }
+                        }
+                    }
+                };
+                frame.regs[*dst as usize] = RVal::Val(Value::Int {
+                    ity: IntTy::Int,
+                    v: IntVal::Num(i128::from(r)),
+                });
+            }
+
+            // ── Compound assignment ─────────────────────────────────────
+            Inst::IncDec { dst, loc: l, ty, inc, prefix, elem } => {
+                let p = loc(frame, *l)?.clone();
+                let ty = &ir.types[ty.0 as usize];
+                let old = it.load_value(&p, ty)?;
+                let new = match (&old, *elem) {
+                    (Value::Ptr { ty: pty, v }, elem) if elem > 0 => {
+                        let q = it.mem.array_shift(v, elem, if *inc { 1 } else { -1 })?;
+                        Value::Ptr { ty: pty.clone(), v: q }
+                    }
+                    (Value::Int { ity, v }, _) => {
+                        let delta = if *inc { 1 } else { -1 };
+                        let raw = v.value() + delta;
+                        if ity.signed() && !ity.is_capability() && !ity.fits(raw) {
+                            return Err(it.ub(Ub::SignedOverflow, "increment overflow"));
+                        }
+                        let nv = if ity.is_capability() {
+                            it.derive_cap_result(v, *ity, raw)
+                        } else {
+                            IntVal::Num(ity.wrap(raw))
+                        };
+                        Value::Int { ity: *ity, v: nv }
+                    }
+                    _ => return Err(Stop::Unsupported("increment target".into())),
+                };
+                it.store_value(&p, ty, &new)?;
+                frame.regs[*dst as usize] = RVal::Val(if *prefix { new } else { old });
+            }
+            Inst::AssignOpInt { dst, loc: l, ty, lt, ct, op, derive, cur, rhs } => {
+                let p = loc(frame, *l)?.clone();
+                let curv = val(frame, *cur)?
+                    .as_int()
+                    .cloned()
+                    .ok_or_else(|| Stop::Unsupported("compound assignment load".into()))?;
+                let cur_c = it.convert_int(&curv, *lt, *ct);
+                let r = val(frame, *rhs)?
+                    .as_int()
+                    .cloned()
+                    .ok_or_else(|| Stop::Unsupported("compound assignment rhs".into()))?;
+                let res = it.binary_int(
+                    *op,
+                    &Value::Int { ity: *ct, v: cur_c },
+                    &Value::Int { ity: *ct, v: r },
+                    *ct,
+                    *derive,
+                )?;
+                let res_v = match &res {
+                    Value::Int { v, .. } => it.convert_int(v, *ct, *lt),
+                    _ => {
+                        return Err(Stop::Unsupported("compound assignment result".into()))
+                    }
+                };
+                let out = Value::Int { ity: *lt, v: res_v };
+                it.store_value(&p, &ir.types[ty.0 as usize], &out)?;
+                frame.regs[*dst as usize] = RVal::Val(out);
+            }
+            Inst::AssignOpFloat { dst, loc: l, ty, common, op, cur, rhs } => {
+                let p = loc(frame, *l)?.clone();
+                let cur_f = match val(frame, *cur)? {
+                    Value::Float { v, .. } => *v,
+                    Value::Int { v, .. } => v.value() as f64,
+                    _ => return Err(Stop::Unsupported("compound float target".into())),
+                };
+                let rv = val(frame, *rhs)?.clone();
+                let res = it.binary_float(
+                    *op,
+                    &Value::Float { fty: *common, v: cur_f },
+                    &rv,
+                    &Ty::Float(*common),
+                )?;
+                let res_f = res.as_float().expect("float result");
+                let ty = &ir.types[ty.0 as usize];
+                let out = match ty {
+                    Ty::Float(fty) => Value::Float {
+                        fty: *fty,
+                        v: if *fty == FloatTy::F32 {
+                            f64::from(res_f as f32)
+                        } else {
+                            res_f
+                        },
+                    },
+                    Ty::Int(ity) => {
+                        let t = res_f.trunc();
+                        if !t.is_finite() || t < ity.min() as f64 || t > ity.max() as f64 {
+                            return Err(it.ub(Ub::SignedOverflow, "float-to-int out of range"));
+                        }
+                        Value::Int { ity: *ity, v: it.mk_int(*ity, t as i128) }
+                    }
+                    t => return Err(Stop::Unsupported(format!("compound target {t}"))),
+                };
+                it.store_value(&p, ty, &out)?;
+                frame.regs[*dst as usize] = RVal::Val(out);
+            }
+            Inst::PtrAssignAdd { dst, loc: l, ty, cur, idx, elem, neg } => {
+                let p = loc(frame, *l)?.clone();
+                let curp = match val(frame, *cur)? {
+                    Value::Ptr { v, .. } => v.clone(),
+                    _ => {
+                        return Err(Stop::Unsupported("pointer compound assignment".into()))
+                    }
+                };
+                let mut i = val(frame, *idx)?.as_int().map(IntVal::value).unwrap_or(0);
+                if *neg {
+                    i = -i;
+                }
+                let q = it.mem.array_shift(&curp, *elem, i as i64)?;
+                let ty = &ir.types[ty.0 as usize];
+                let out = Value::Ptr { ty: ty.clone(), v: q };
+                it.store_value(&p, ty, &out)?;
+                frame.regs[*dst as usize] = RVal::Val(out);
+            }
+
+            // ── Casts ───────────────────────────────────────────────────
+            Inst::IntToInt { dst, src, to } => {
+                let v = val(frame, *src)?
+                    .as_int()
+                    .cloned()
+                    .ok_or_else(|| Stop::Unsupported("int cast operand".into()))?;
+                // `convert_int` ignores the source type.
+                let v = it.convert_int(&v, *to, *to);
+                frame.regs[*dst as usize] = RVal::Val(Value::Int { ity: *to, v });
+            }
+            Inst::PtrToInt { dst, src, to, size } => {
+                let p = val(frame, *src)?
+                    .as_ptr()
+                    .cloned()
+                    .ok_or_else(|| Stop::Unsupported("pointer cast operand".into()))?;
+                let v = it
+                    .mem
+                    .cast_ptr_to_int(&p, to.is_capability(), to.signed(), *size);
+                frame.regs[*dst as usize] = RVal::Val(Value::Int { ity: *to, v });
+            }
+            Inst::IntToPtr { dst, src, ty } => {
+                let v = val(frame, *src)?
+                    .as_int()
+                    .cloned()
+                    .ok_or_else(|| Stop::Unsupported("int-to-pointer operand".into()))?;
+                let p = it.mem.cast_int_to_ptr(&v);
+                frame.regs[*dst as usize] = RVal::Val(Value::Ptr {
+                    ty: ir.types[ty.0 as usize].clone(),
+                    v: p,
+                });
+            }
+            Inst::PtrToPtr { dst, src, ty } => {
+                let p = val(frame, *src)?
+                    .as_ptr()
+                    .cloned()
+                    .ok_or_else(|| Stop::Unsupported("pointer cast operand".into()))?;
+                frame.regs[*dst as usize] = RVal::Val(Value::Ptr {
+                    ty: ir.types[ty.0 as usize].clone(),
+                    v: p,
+                });
+            }
+            Inst::IntToFloat { dst, src, fty } => {
+                let n = val(frame, *src)?
+                    .as_int()
+                    .map(IntVal::value)
+                    .ok_or_else(|| Stop::Unsupported("int-to-float operand".into()))?;
+                let v = n as f64;
+                let v = if *fty == FloatTy::F32 { f64::from(v as f32) } else { v };
+                frame.regs[*dst as usize] = RVal::Val(Value::Float { fty: *fty, v });
+            }
+            Inst::FloatToInt { dst, src, to } => {
+                let f = val(frame, *src)?
+                    .as_float()
+                    .ok_or_else(|| Stop::Unsupported("float-to-int operand".into()))?;
+                let t = f.trunc();
+                if !t.is_finite() || t < to.min() as f64 || t > to.max() as f64 {
+                    return Err(it.ub(Ub::SignedOverflow, "float-to-int out of range"));
+                }
+                let v = it.mk_int(*to, t as i128);
+                frame.regs[*dst as usize] = RVal::Val(Value::Int { ity: *to, v });
+            }
+            Inst::FloatToFloat { dst, src, fty } => {
+                let f = val(frame, *src)?
+                    .as_float()
+                    .ok_or_else(|| Stop::Unsupported("float cast operand".into()))?;
+                let v = if *fty == FloatTy::F32 { f64::from(f as f32) } else { f };
+                frame.regs[*dst as usize] = RVal::Val(Value::Float { fty: *fty, v });
+            }
+            Inst::ToBool { dst, src } => {
+                let b = val(frame, *src)?.truthy();
+                frame.regs[*dst as usize] = RVal::Val(Value::Int {
+                    ity: IntTy::Bool,
+                    v: IntVal::Num(i128::from(b)),
+                });
+            }
+
+            // ── Control flow ────────────────────────────────────────────
+            Inst::Jump { target } => frame.pc = *target,
+            Inst::JumpIfFalse { src, target } => {
+                if !val(frame, *src)?.truthy() {
+                    frame.pc = *target;
+                }
+            }
+            Inst::JumpIfTrue { src, target } => {
+                if val(frame, *src)?.truthy() {
+                    frame.pc = *target;
+                }
+            }
+            Inst::SwitchInt { src, cases, end } => {
+                let n = val(frame, *src)?.as_int().map(IntVal::value).unwrap_or(0);
+                let mut t = *end;
+                if let Some((_, tt)) = cases.iter().find(|(v, _)| *v == Some(n)) {
+                    t = *tt;
+                } else if let Some((_, tt)) = cases.iter().find(|(v, _)| v.is_none()) {
+                    t = *tt;
+                }
+                frame.pc = t;
+            }
+
+            // ── Calls and returns ───────────────────────────────────────
+            Inst::CallDirect { dst, f, args } => {
+                let argv: Vec<Value<C>> = args
+                    .iter()
+                    .map(|&r| val(frame, r).cloned())
+                    .collect::<EResult<_>>()?;
+                return Ok(Xfer::Call { f: f.0, dst: *dst, args: argv });
+            }
+            Inst::CallIndirect { dst, callee, args } => {
+                let fv = val(frame, *callee)?;
+                let p = fv
+                    .as_ptr()
+                    .ok_or_else(|| Stop::Unsupported("indirect call operand".into()))?;
+                if it.profile.mem.capabilities {
+                    if !p.cap.tag() {
+                        return Err(Stop::Mem(MemError::ub(
+                            Ub::CheriInvalidCap,
+                            "call via untagged function pointer",
+                        )));
+                    }
+                    if !p.cap.perms().contains(Perms::EXECUTE) {
+                        return Err(Stop::Mem(MemError::ub(
+                            Ub::CheriInsufficientPermissions,
+                            "call via non-executable capability",
+                        )));
+                    }
+                }
+                let name = it
+                    .addr_to_func
+                    .get(&p.addr())
+                    .ok_or_else(|| Stop::Unsupported("indirect call to non-function".into()))?;
+                let f = ir.func_index.get(name).copied().ok_or_else(|| {
+                    Stop::Unsupported(format!("call of undefined `{name}`"))
+                })?;
+                let argv: Vec<Value<C>> = args
+                    .iter()
+                    .map(|&r| val(frame, r).cloned())
+                    .collect::<EResult<_>>()?;
+                return Ok(Xfer::Call { f, dst: *dst, args: argv });
+            }
+            Inst::CallBuiltin { dst, b, args } => {
+                let argv: Vec<(Value<C>, Ty)> = args
+                    .iter()
+                    .map(|&(r, t)| {
+                        val(frame, r).map(|v| (v.clone(), ir.types[t.0 as usize].clone()))
+                    })
+                    .collect::<EResult<_>>()?;
+                let res = it.eval_builtin(*b, argv)?;
+                frame.regs[*dst as usize] = RVal::Val(res);
+            }
+            Inst::Ret { src } => {
+                let v = val(frame, *src)?.clone();
+                return Ok(Xfer::Ret(v));
+            }
+            Inst::RetVoid => return Ok(Xfer::Ret(Value::Void)),
+            Inst::RetFall => {
+                let v = if func.is_main {
+                    Value::Int { ity: IntTy::Int, v: IntVal::Num(0) }
+                } else {
+                    Value::Void
+                };
+                return Ok(Xfer::Ret(v));
+            }
+
+            // ── Locals ──────────────────────────────────────────────────
+            Inst::AllocLocal { dst, name, size, align, zero } => {
+                let p = it
+                    .mem
+                    .allocate_object(&ir.strs[name.0 as usize], *size, *align, false, None)?;
+                frame.to_kill.push(p.clone());
+                if *zero {
+                    it.mem.memset(&p, 0, *size)?;
+                }
+                frame.regs[*dst as usize] = RVal::Loc(p);
+            }
+            Inst::FreezeLoc { dst, src } => {
+                let q = {
+                    let p = loc(frame, *src)?;
+                    it.mem.freeze_readonly(p)?
+                };
+                frame.regs[*dst as usize] = RVal::Loc(q);
+            }
+            Inst::BindSlot { slot, src } => {
+                let p = loc(frame, *src)?.clone();
+                frame.slots[*slot as usize] = Some(p);
+            }
+            Inst::InitStr { loc: l, s, elem } => {
+                let p = loc(frame, *l)?.clone();
+                let mut bytes = ir.strs[s.0 as usize].as_bytes().to_vec();
+                bytes.push(0);
+                for (i, b) in bytes.iter().enumerate() {
+                    let ep = it.mem.member_shift(&p, i as u64 * elem);
+                    it.mem.store_int(&ep, 1, &IntVal::Num(i128::from(*b)))?;
+                }
+            }
+            Inst::Unsupported { msg } => {
+                return Err(Stop::Unsupported(ir.strs[msg.0 as usize].clone()))
+            }
+        }
+    }
+}

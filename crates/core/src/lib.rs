@@ -30,6 +30,7 @@
 
 pub mod ast;
 pub mod interp;
+pub mod ir;
 pub mod lex;
 pub mod opt;
 pub mod parse;
@@ -42,7 +43,7 @@ pub mod types;
 
 use cheri_cap::Capability;
 pub use cheri_cap::{CheriotCap, MorelloCap};
-pub use interp::Interp;
+pub use interp::{Engine, Interp};
 pub use profile::{OptFlags, Profile};
 pub use report::{Outcome, RunResult};
 
@@ -99,13 +100,42 @@ pub fn run_with<C: Capability>(src: &str, profile: &Profile) -> RunResult {
     }
 }
 
+/// [`run_with`] with an explicit [`Engine`] selection (`run`/`run_with`
+/// use the default, [`Engine::Bytecode`]; pass [`Engine::Tree`] for the
+/// legacy recursive walker, e.g. via the CLI's `--engine tree`).
+#[must_use]
+pub fn run_with_engine<C: Capability>(src: &str, profile: &Profile, engine: Engine) -> RunResult {
+    match compile_for::<C>(src, profile) {
+        Ok(prog) => Interp::<C>::new(&prog, profile).with_engine(engine).run(),
+        Err(msg) => RunResult {
+            outcome: Outcome::Error(msg),
+            stdout: String::new(),
+            stderr: String::new(),
+            unspecified_reads: 0,
+            mem_stats: cheri_mem::MemStats::default(),
+        },
+    }
+}
+
 /// [`run`] returning the typed memory-event stream as well (with a
 /// terminal exit/UB/trap event), for trace diffing and analysis. Front-end
 /// errors are reported as [`Outcome::Error`] with an empty stream.
 #[must_use]
 pub fn run_traced(src: &str, profile: &Profile) -> (RunResult, Vec<cheri_mem::MemEvent>) {
+    run_traced_with_engine(src, profile, Engine::default())
+}
+
+/// [`run_traced`] with an explicit [`Engine`] selection.
+#[must_use]
+pub fn run_traced_with_engine(
+    src: &str,
+    profile: &Profile,
+    engine: Engine,
+) -> (RunResult, Vec<cheri_mem::MemEvent>) {
     match compile_for::<MorelloCap>(src, profile) {
-        Ok(prog) => Interp::<MorelloCap>::new(&prog, profile).run_with_events(),
+        Ok(prog) => Interp::<MorelloCap>::new(&prog, profile)
+            .with_engine(engine)
+            .run_with_events(),
         Err(msg) => (
             RunResult {
                 outcome: Outcome::Error(msg),

@@ -23,6 +23,12 @@ use std::collections::BTreeMap;
 
 use cheri_cap::{Capability, GhostState, Perms};
 use cheri_obs::sink::EventSink;
+
+/// Largest scalar access (bytes) served from a stack buffer on the
+/// load/store hot path; covers every capability representation
+/// (`C::CAP_BYTES` is at most 16). Larger windows fall back to a heap
+/// `Vec`.
+const SCALAR_BUF: usize = 16;
 use cheri_obs::{
     AllocClass, MemEvent, Name, SinkHandle, TagClearReason, VecSink, TAG_CLEAR_REASONS,
 };
@@ -136,7 +142,7 @@ impl Default for MemConfig {
 }
 
 /// Operation counters, for the benchmark harness and `cheri-c --stats`.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// Number of scalar loads performed.
     pub loads: u64,
@@ -202,7 +208,11 @@ fn alloc_class(kind: AllocKind) -> AllocClass {
 #[derive(Clone, Debug)]
 pub struct CheriMemory<C: Capability> {
     cfg: MemConfig,
-    allocations: BTreeMap<AllocId, Allocation>,
+    /// Every allocation ever created, in ID order. IDs are dense (a
+    /// counter starting at 1, never reused) and dead allocations are kept
+    /// for diagnostics, so the "map" is a plain vector indexed by
+    /// `id - 1` — O(1) resolution on the access hot path.
+    allocations: Vec<Allocation>,
     next_alloc: u64,
     iotas: BTreeMap<IotaId, IotaState>,
     next_iota: u64,
@@ -243,7 +253,7 @@ impl<C: Capability> CheriMemory<C> {
     pub fn new(cfg: MemConfig) -> Self {
         CheriMemory {
             cfg,
-            allocations: BTreeMap::new(),
+            allocations: Vec::new(),
             // Allocation IDs start above the IDs the runtime start-up would
             // consume in Cerberus; cosmetic only.
             next_alloc: 1,
@@ -333,6 +343,18 @@ impl<C: Capability> CheriMemory<C> {
         let id = AllocId(self.next_alloc);
         self.next_alloc += 1;
         id
+    }
+
+    /// Allocation lookup by ID (IDs index the dense vector at `id - 1`).
+    #[inline]
+    fn alloc_ref(&self, id: AllocId) -> Option<&Allocation> {
+        self.allocations.get(id.0.checked_sub(1)? as usize)
+    }
+
+    /// Mutable counterpart of [`CheriMemory::alloc_ref`].
+    #[inline]
+    fn alloc_mut(&mut self, id: AllocId) -> Option<&mut Allocation> {
+        self.allocations.get_mut(id.0.checked_sub(1)? as usize)
     }
 
     /// Compute the address for a new allocation of `size` bytes with
@@ -461,8 +483,8 @@ impl<C: Capability> CheriMemory<C> {
             }
             (buf, crate::capmeta::CapSlotBits::new(n_slots), first_slot)
         };
-        self.allocations.insert(
-            id,
+        debug_assert_eq!(self.allocations.len() as u64 + 1, id.0);
+        self.allocations.push(
             Allocation {
                 id,
                 base,
@@ -531,8 +553,7 @@ impl<C: Capability> CheriMemory<C> {
             }
         };
         let alloc = self
-            .allocations
-            .get(&id)
+            .alloc_ref(id)
             .ok_or_else(|| MemError::ub(Ub::FreeInvalidPointer, "unknown allocation"))?;
         if !alloc.alive {
             return Err(MemError::ub(
@@ -563,7 +584,9 @@ impl<C: Capability> CheriMemory<C> {
             end,
             dynamic,
         });
-        let alloc = self.allocations.get_mut(&id).expect("checked above");
+        // Field-indexing (not `alloc_mut`) keeps the borrow on
+        // `self.allocations` alone so `self.cfg`/`self.bytes` stay usable.
+        let alloc = &mut self.allocations[(id.0 - 1) as usize];
         alloc.alive = false;
         if self.cfg.abstract_ub {
             // Abstract machine: the contents become indeterminate when the
@@ -667,7 +690,7 @@ impl<C: Capability> CheriMemory<C> {
         // of every byte key in memory.
         let ids: Vec<AllocId> = self.index.iter().map(|e| e.2).collect();
         for id in ids {
-            let a = &self.allocations[&id];
+            let a = self.alloc_ref(id).expect("indexed allocation");
             let mut hits: Vec<usize> = Vec::new();
             for k in a.slots.tagged_indices() {
                 let slot = a.first_slot + k as u64 * cb;
@@ -686,7 +709,7 @@ impl<C: Capability> CheriMemory<C> {
                 continue;
             }
             self.stats.revoked_caps += hits.len() as u64;
-            let a = self.allocations.get_mut(&id).expect("indexed allocation");
+            let a = self.alloc_mut(id).expect("indexed allocation");
             for k in hits {
                 let meta = a.slots.get(k);
                 a.slots.set(
@@ -734,7 +757,7 @@ impl<C: Capability> CheriMemory<C> {
             .resolve_prov(&old.prov, old.addr(), 0)?
             .ok_or_else(|| MemError::ub(Ub::FreeInvalidPointer, "realloc of unknown pointer"))?;
         let (old_base, old_size, alive, kind) = {
-            let a = &self.allocations[&id];
+            let a = self.alloc_ref(id).expect("indexed allocation");
             (a.base, a.size, a.alive, a.kind)
         };
         if !alive {
@@ -758,7 +781,7 @@ impl<C: Capability> CheriMemory<C> {
     /// Mark the allocation identified by `prov` as exposed (PNVI-ae).
     pub fn expose(&mut self, prov: Provenance) {
         if let Provenance::Alloc(id) = prov {
-            if let Some(a) = self.allocations.get_mut(&id) {
+            if let Some(a) = self.alloc_mut(id) {
                 a.exposed = true;
             }
         }
@@ -785,8 +808,7 @@ impl<C: Capability> CheriMemory<C> {
                     IotaState::Resolved(id) => Ok(Some(id)),
                     IotaState::Ambiguous(a, b) => {
                         let fits = |id: AllocId, this: &Self| {
-                            this.allocations
-                                .get(&id)
+                            this.alloc_ref(id)
                                 .is_some_and(|al| al.alive && al.contains_range(addr, size.max(1)))
                         };
                         let in_a = fits(a, self);
@@ -836,7 +858,7 @@ impl<C: Capability> CheriMemory<C> {
         let mut inside: Option<AllocId> = None;
         let mut one_past: Option<AllocId> = None;
         for id in ids {
-            let a = &self.allocations[&id];
+            let a = self.alloc_ref(id).expect("indexed allocation");
             if !a.alive || !a.exposed {
                 continue;
             }
@@ -930,8 +952,7 @@ impl<C: Capability> CheriMemory<C> {
                 )
             })?;
             let a = self
-                .allocations
-                .get(&id)
+                .alloc_ref(id)
                 .ok_or_else(|| MemError::Fail(format!("unknown allocation {id}")))?;
             if !a.alive {
                 return Err(MemError::ub(
@@ -981,27 +1002,36 @@ impl<C: Capability> CheriMemory<C> {
     #[inline]
     fn alloc_at(&self, addr: u64) -> Option<&Allocation> {
         self.index_pos(addr)
-            .map(|i| &self.allocations[&self.index[i].2])
+            .map(|i| self.alloc_ref(self.index[i].2).expect("indexed allocation"))
     }
 
     fn read_bytes(&self, addr: u64, n: u64) -> Vec<AbsByte> {
-        if self.cfg.legacy_store {
-            return (0..n)
-                .map(|i| {
-                    self.bytes
-                        .get(&(addr + i))
-                        .copied()
-                        .unwrap_or(AbsByte::UNINIT)
-                })
-                .collect();
-        }
         let mut out = vec![AbsByte::UNINIT; n as usize];
+        self.read_bytes_into(addr, &mut out);
+        out
+    }
+
+    /// [`CheriMemory::read_bytes`] into a caller-provided buffer: the
+    /// scalar load path uses a stack buffer to keep `Vec` allocations off
+    /// the per-access hot path.
+    fn read_bytes_into(&self, addr: u64, out: &mut [AbsByte]) {
+        let n = out.len() as u64;
+        if self.cfg.legacy_store {
+            for (i, o) in out.iter_mut().enumerate() {
+                *o = self
+                    .bytes
+                    .get(&(addr + i as u64))
+                    .copied()
+                    .unwrap_or(AbsByte::UNINIT);
+            }
+            return;
+        }
         let end = addr + n;
         let mut cur = addr;
         while cur < end {
             if let Some(i) = self.index_pos(cur) {
                 let (base, a_end, id) = self.index[i];
-                let a = &self.allocations[&id];
+                let a = self.alloc_ref(id).expect("indexed allocation");
                 let take = (a_end.min(end) - cur) as usize;
                 let off = (cur - base) as usize;
                 let dst = (cur - addr) as usize;
@@ -1021,7 +1051,6 @@ impl<C: Capability> CheriMemory<C> {
                 cur = stop;
             }
         }
-        out
     }
 
     /// Write abstract bytes verbatim (provenance and copy indices intact).
@@ -1040,7 +1069,7 @@ impl<C: Capability> CheriMemory<C> {
                 let take = (a_end.min(end) - cur) as usize;
                 let off = (cur - base) as usize;
                 let src = (cur - addr) as usize;
-                let a = self.allocations.get_mut(&id).expect("indexed allocation");
+                let a = self.alloc_mut(id).expect("indexed allocation");
                 a.buf[off..off + take].copy_from_slice(&data[src..src + take]);
                 cur += take as u64;
             } else {
@@ -1080,7 +1109,7 @@ impl<C: Capability> CheriMemory<C> {
         let cb = C::CAP_BYTES as u64;
         if let Some(i) = self.index_pos(addr) {
             let id = self.index[i].2;
-            let a = self.allocations.get_mut(&id).expect("indexed allocation");
+            let a = self.alloc_mut(id).expect("indexed allocation");
             if let Some(k) = a.slot_index(addr, cb) {
                 a.slots.set(k, meta);
                 return;
@@ -1128,7 +1157,7 @@ impl<C: Capability> CheriMemory<C> {
         let mut pos = self.index.partition_point(|e| e.1 <= first);
         while pos < self.index.len() && self.index[pos].0 < hi {
             let id = self.index[pos].2;
-            let a = self.allocations.get_mut(&id).expect("indexed allocation");
+            let a = self.alloc_mut(id).expect("indexed allocation");
             let n_slots = a.slots.len() as u64;
             if n_slots > 0 && hi > a.first_slot {
                 // Slot `k` sits at `first_slot + k*cb`; touch those with
@@ -1179,7 +1208,7 @@ impl<C: Capability> CheriMemory<C> {
                     let take = (a_end.min(end) - cur) as usize;
                     let off = (cur - base) as usize;
                     let src = (cur - addr) as usize;
-                    let a = self.allocations.get_mut(&id).expect("indexed allocation");
+                    let a = self.alloc_mut(id).expect("indexed allocation");
                     for t in 0..take {
                         a.buf[off + t] = AbsByte::data(data[src + t]);
                     }
@@ -1228,7 +1257,7 @@ impl<C: Capability> CheriMemory<C> {
     fn expose_tainted(&mut self, bytes: &[AbsByte]) {
         let tainted: Vec<AllocId> = bytes.iter().filter_map(|b| b.prov.alloc_id()).collect();
         for id in tainted {
-            if let Some(a) = self.allocations.get_mut(&id) {
+            if let Some(a) = self.alloc_mut(id) {
                 if a.alive {
                     a.exposed = true;
                 }
@@ -1255,7 +1284,17 @@ impl<C: Capability> CheriMemory<C> {
     ) -> MemResult<IntVal<C>> {
         self.check_access(p, size, Access::Load)?;
         let addr = p.addr();
-        let bytes = self.read_bytes(addr, size);
+        let mut stack = [AbsByte::UNINIT; SCALAR_BUF];
+        let mut heap: Vec<AbsByte>;
+        let bytes: &[AbsByte] = if size as usize <= SCALAR_BUF {
+            let window = &mut stack[..size as usize];
+            self.read_bytes_into(addr, window);
+            window
+        } else {
+            heap = vec![AbsByte::UNINIT; size as usize];
+            self.read_bytes_into(addr, &mut heap);
+            &heap
+        };
         if bytes.iter().any(|b| !b.is_init()) {
             if bytes.iter().any(super::absbyte::AbsByte::is_init) && want_intptr {
                 // Partially-initialised capability representation: a trap
@@ -1276,16 +1315,20 @@ impl<C: Capability> CheriMemory<C> {
             size,
             intptr: want_intptr,
         });
-        let raw: Vec<u8> = bytes.iter().map(|b| b.value.unwrap_or(0)).collect();
         if want_intptr && self.cfg.capabilities && size == C::CAP_BYTES as u64 {
-            let prov = recover_provenance(&bytes);
+            let mut raw = [0u8; SCALAR_BUF];
+            for (r, b) in raw.iter_mut().zip(bytes) {
+                *r = b.value.unwrap_or(0);
+            }
+            let raw = &raw[..size as usize];
+            let prov = recover_provenance(bytes);
             let (cap, ghost_extra) = if addr.is_multiple_of(C::CAP_BYTES as u64) {
                 let meta = self.slot_get(addr);
-                let cap = C::decode(&raw, meta.tag)
+                let cap = C::decode(raw, meta.tag)
                     .ok_or_else(|| MemError::Fail("capability decode".into()))?;
                 (cap.with_ghost(meta.ghost), GhostState::CLEAN)
             } else {
-                let cap = C::decode(&raw, false)
+                let cap = C::decode(raw, false)
                     .ok_or_else(|| MemError::Fail("capability decode".into()))?;
                 (cap, GhostState::CLEAN)
             };
@@ -1298,10 +1341,10 @@ impl<C: Capability> CheriMemory<C> {
         }
         // Plain integer: examining these bytes exposes any pointer
         // representations they belong to (PNVI-ae).
-        self.expose_tainted(&bytes);
+        self.expose_tainted(bytes);
         let mut v: i128 = 0;
-        for (i, b) in raw.iter().enumerate() {
-            v |= i128::from(*b) << (8 * i);
+        for (i, b) in bytes.iter().enumerate() {
+            v |= i128::from(b.value.unwrap_or(0)) << (8 * i);
         }
         if signed && size < 16 {
             let shift = 128 - 8 * size as u32;
@@ -1329,8 +1372,16 @@ impl<C: Capability> CheriMemory<C> {
             }
             _ => {
                 let n = v.value();
-                let data: Vec<u8> = (0..size).map(|i| (n >> (8 * i)) as u8).collect();
-                self.write_data_bytes(addr, &data);
+                if size as usize <= SCALAR_BUF {
+                    let mut data = [0u8; SCALAR_BUF];
+                    for (i, d) in data[..size as usize].iter_mut().enumerate() {
+                        *d = (n >> (8 * i)) as u8;
+                    }
+                    self.write_data_bytes(addr, &data[..size as usize]);
+                } else {
+                    let data: Vec<u8> = (0..size).map(|i| (n >> (8 * i)) as u8).collect();
+                    self.write_data_bytes(addr, &data);
+                }
                 Ok(())
             }
         }
@@ -1345,7 +1396,9 @@ impl<C: Capability> CheriMemory<C> {
         let size = self.pointer_bytes() as u64;
         self.check_access(p, size, Access::Load)?;
         let addr = p.addr();
-        let bytes = self.read_bytes(addr, size);
+        let mut stack = [AbsByte::UNINIT; SCALAR_BUF];
+        let bytes = &mut stack[..size as usize];
+        self.read_bytes_into(addr, bytes);
         if bytes.iter().any(|b| !b.is_init()) {
             if bytes.iter().any(super::absbyte::AbsByte::is_init) {
                 return Err(MemError::ub(
@@ -1359,8 +1412,12 @@ impl<C: Capability> CheriMemory<C> {
             ));
         }
         self.stats.loads += 1;
-        let raw: Vec<u8> = bytes.iter().map(|b| b.value.unwrap_or(0)).collect();
-        let prov = recover_provenance(&bytes);
+        let mut raw = [0u8; SCALAR_BUF];
+        for (r, b) in raw.iter_mut().zip(bytes.iter()) {
+            *r = b.value.unwrap_or(0);
+        }
+        let raw = &raw[..size as usize];
+        let prov = recover_provenance(bytes);
         if self.cfg.capabilities {
             let (tag, ghost) = if addr.is_multiple_of(C::CAP_BYTES as u64) {
                 let meta = self.slot_get(addr);
@@ -1368,7 +1425,7 @@ impl<C: Capability> CheriMemory<C> {
             } else {
                 (false, GhostState::CLEAN)
             };
-            let cap = C::decode(&raw, tag)
+            let cap = C::decode(raw, tag)
                 .ok_or_else(|| MemError::Fail("capability decode".into()))?
                 .with_ghost(ghost);
             Ok(PtrVal::new(prov, cap))
@@ -1394,10 +1451,11 @@ impl<C: Capability> CheriMemory<C> {
         } else {
             let a = v.addr();
             let addr = p.addr();
-            let abs: Vec<AbsByte> = (0..size)
-                .map(|i| AbsByte::pointer(v.prov, (a >> (8 * i)) as u8, i as u8))
-                .collect();
-            self.write_abs_bytes(addr, &abs);
+            let mut abs = [AbsByte::UNINIT; SCALAR_BUF];
+            for (i, o) in abs[..size as usize].iter_mut().enumerate() {
+                *o = AbsByte::pointer(v.prov, (a >> (8 * i)) as u8, i as u8);
+            }
+            self.write_abs_bytes(addr, &abs[..size as usize]);
             self.stats.stores += 1;
         }
         Ok(())
@@ -1406,12 +1464,11 @@ impl<C: Capability> CheriMemory<C> {
     fn store_cap_bytes(&mut self, addr: u64, cap: &C, prov: Provenance) {
         let enc = cap.encode();
         let cb = C::CAP_BYTES as u64;
-        let abs: Vec<AbsByte> = enc
-            .iter()
-            .enumerate()
-            .map(|(i, b)| AbsByte::pointer(prov, *b, i as u8))
-            .collect();
-        self.write_abs_bytes(addr, &abs);
+        let mut abs = [AbsByte::UNINIT; SCALAR_BUF];
+        for (i, o) in abs[..enc.len()].iter_mut().enumerate() {
+            *o = AbsByte::pointer(prov, enc[i], i as u8);
+        }
+        self.write_abs_bytes(addr, &abs[..enc.len()]);
         if addr.is_multiple_of(cb) {
             self.slot_set(
                 addr,
@@ -1522,7 +1579,7 @@ impl<C: Capability> CheriMemory<C> {
         let new_addr = (p.addr() as i128).wrapping_add(delta) as u64;
         if self.cfg.abstract_ub {
             if let Some(id) = self.resolve_prov(&p.prov, p.addr(), 0)? {
-                let a = &self.allocations[&id];
+                let a = self.alloc_ref(id).expect("indexed allocation");
                 if !a.contains_or_one_past(new_addr) {
                     return Err(MemError::ub(
                         Ub::OutOfBoundPtrArithmetic,
@@ -1660,7 +1717,7 @@ impl<C: Capability> CheriMemory<C> {
                 let addr = cap.address();
                 let live = prov
                     .alloc_id()
-                    .and_then(|id| self.allocations.get(&id))
+                    .and_then(|id| self.alloc_ref(id))
                     .is_some_and(|a| a.alive && a.contains_or_one_past(addr));
                 let prov = if live { *prov } else { self.lookup_provenance(addr) };
                 PtrVal::new(prov, cap.clone())
@@ -1679,7 +1736,7 @@ impl<C: Capability> CheriMemory<C> {
         let id = self
             .resolve_prov(&p.prov, p.addr(), 0)?
             .ok_or_else(|| MemError::Fail("freeze of unknown allocation".into()))?;
-        if let Some(a) = self.allocations.get_mut(&id) {
+        if let Some(a) = self.alloc_mut(id) {
             a.readonly = true;
         }
         let cap = if self.cfg.capabilities {
@@ -1694,8 +1751,14 @@ impl<C: Capability> CheriMemory<C> {
 
     /// The allocation map (diagnostics and tests).
     #[must_use]
-    pub fn allocations(&self) -> &BTreeMap<AllocId, Allocation> {
+    pub fn allocations(&self) -> &[Allocation] {
         &self.allocations
+    }
+
+    /// A single allocation by ID (diagnostics and tests).
+    #[must_use]
+    pub fn allocation(&self, id: AllocId) -> Option<&Allocation> {
+        self.alloc_ref(id)
     }
 
     /// Find the live allocation containing `addr`, if any.
@@ -1714,7 +1777,7 @@ impl<C: Capability> CheriMemory<C> {
             self.caps.tagged_count()
         } else {
             self.allocations
-                .values()
+                .iter()
                 .map(|a| a.slots.tagged_count())
                 .sum::<usize>()
                 + self.spill_caps.tagged_count()

@@ -203,9 +203,9 @@ fn ptr_to_int_cast_exposes_allocation() {
     let mut m = reference();
     let p = m.allocate_object("x", 4, 4, false, Some(&[0; 4])).unwrap();
     let id = p.prov.alloc_id().unwrap();
-    assert!(!m.allocations()[&id].exposed);
+    assert!(!m.allocation(id).expect("allocation exists").exposed);
     let _ = m.cast_ptr_to_int(&p, false, true, 8);
-    assert!(m.allocations()[&id].exposed);
+    assert!(m.allocation(id).expect("allocation exists").exposed);
 }
 
 #[test]

@@ -22,9 +22,9 @@ fn main() {
     let addr_x = mem.cast_ptr_to_int(&x, false, false, 8);
     println!("\n(uintptr-less) integer value of &x: {}", addr_x.value());
     let x_id = x.prov.alloc_id().unwrap();
-    println!("x exposed after the cast: {}", mem.allocations()[&x_id].exposed);
+    println!("x exposed after the cast: {}", mem.allocation(x_id).expect("allocation exists").exposed);
     let y_id = y.prov.alloc_id().unwrap();
-    println!("y not exposed (never cast): {}", !mem.allocations()[&y_id].exposed);
+    println!("y not exposed (never cast): {}", !mem.allocation(y_id).expect("allocation exists").exposed);
 
     // Casting the integer back attaches the provenance of the exposed
     // allocation it points into...

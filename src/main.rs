@@ -6,7 +6,7 @@
 
 use std::process::ExitCode;
 
-use cheri_c::core::{compile_for, run_with, Interp, Outcome, Profile};
+use cheri_c::core::{compile_for, run_with_engine, Engine, Interp, Outcome, Profile};
 use cheri_c::lint::{lint_with, LintMode, LintReport};
 use cheri_cap::{Capability, CheriotCap, MorelloCap};
 use cheri_mem::{MemEvent, MemStats, TagClearReason};
@@ -42,6 +42,8 @@ struct Options {
     list: bool,
     lint: bool,
     lint_format: LintFormat,
+    engine: Engine,
+    emit_ir: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -58,6 +60,8 @@ fn parse_args() -> Result<Options, String> {
         list: false,
         lint: false,
         lint_format: LintFormat::Text,
+        engine: Engine::default(),
+        emit_ir: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -101,6 +105,19 @@ fn parse_args() -> Result<Options, String> {
                 };
                 o.lint = true;
             }
+            "--engine" => {
+                let v = args.next().ok_or("--engine needs a value")?;
+                o.engine = match v.as_str() {
+                    "tree" => Engine::Tree,
+                    "bytecode" => Engine::Bytecode,
+                    other => {
+                        return Err(format!(
+                            "unknown engine {other} (expected tree or bytecode)"
+                        ))
+                    }
+                };
+            }
+            "--emit-ir" => o.emit_ir = true,
             "--stats" => o.stats = true,
             "--list-profiles" => o.list = true,
             "--help" | "-h" => {
@@ -217,7 +234,7 @@ fn exec<C: Capability>(
                 return (Outcome::Error(e), None);
             }
         };
-        let it = Interp::<C>::new(&prog, profile);
+        let it = Interp::<C>::new(&prog, profile).with_engine(opts.engine);
         let (r, events) = it.run_with_events();
         print!("{}", r.stdout);
         eprint!("{}", r.stderr);
@@ -232,7 +249,7 @@ fn exec<C: Capability>(
         }
         (r.outcome, Some(events))
     } else {
-        let r = run_with::<C>(src, profile);
+        let r = run_with_engine::<C>(src, profile, opts.engine);
         print!("{}", r.stdout);
         eprint!("{}", r.stderr);
         (r.outcome, None)
@@ -285,6 +302,26 @@ fn run_lint(src: &str, profiles: &[Profile], opts: &Options) -> ExitCode {
         }
     }
     ExitCode::from(worst)
+}
+
+/// `--emit-ir`: pretty-print the lowered bytecode program (constant
+/// pools, then per-function labelled blocks) with stable formatting, so
+/// lowering changes show up as reviewable diffs (`tests/golden/ir/`).
+fn emit_ir(src: &str, profile: &Profile, opts: &Options) -> ExitCode {
+    let prog = match opts.arch.as_str() {
+        "cheriot" => compile_for::<CheriotCap>(src, profile),
+        _ => compile_for::<MorelloCap>(src, profile),
+    };
+    match prog {
+        Ok(p) => {
+            print!("{}", cheri_c::core::ir::lower(&p).render());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 /// One-line lint verdict shown next to the dynamic outcome in `--all`
@@ -345,6 +382,9 @@ fn main() -> ExitCode {
     };
     if opts.lint {
         return run_lint(&src, &profiles, &opts);
+    }
+    if opts.emit_ir {
+        return emit_ir(&src, &profiles[0], &opts);
     }
     let mut last = Outcome::Exit(0);
     let mut runs: Vec<(String, Vec<MemEvent>)> = Vec::new();

@@ -1,0 +1,96 @@
+//! Deep-nesting stress regression: the bytecode engine executes in
+//! constant stack where the tree walker's recursion is proportional to
+//! program nesting depth.
+//!
+//! The generated program nests ~8k blocks of statements and an ~4k-deep
+//! right-nested expression. The front end (parser, type checker,
+//! optimiser, lowering) still recurses over the syntax — that is a
+//! compile-time cost paid once, run here on a thread with a large stack —
+//! but the lowered program is *flat*, so execution needs only a small
+//! constant amount of native stack regardless of nesting depth. The test
+//! pins that by running the VM on a 512 KiB stack, far below what the
+//! tree walker needs for this program (its per-node `exec`/`eval`
+//! recursion overflows such a stack; its practical limit is documented in
+//! DESIGN.md §10). The front-end threads get 1 GiB of (virtual) stack —
+//! debug-build parser frames are large.
+
+use std::sync::Arc;
+
+use cheri_c::core::ir::IrProgram;
+use cheri_c::core::{compile_for, Interp, Outcome, Profile};
+use cheri_cap::MorelloCap;
+
+const BLOCK_DEPTH: usize = 8_000;
+const EXPR_DEPTH: usize = 4_000;
+
+/// `int main` with `EXPR_DEPTH` right-nested additions of a variable
+/// (immune to constant folding) inside `BLOCK_DEPTH` nested blocks.
+fn deep_source() -> String {
+    let mut src = String::with_capacity(BLOCK_DEPTH * 4 + EXPR_DEPTH * 8);
+    src.push_str("int main(void) {\n  int x = 1;\n  int s = 0;\n");
+    for _ in 0..BLOCK_DEPTH {
+        src.push('{');
+    }
+    src.push_str("s = ");
+    for _ in 0..EXPR_DEPTH - 1 {
+        src.push_str("x + (");
+    }
+    src.push('x');
+    src.push_str(&")".repeat(EXPR_DEPTH - 1));
+    src.push(';');
+    for _ in 0..BLOCK_DEPTH {
+        src.push('}');
+    }
+    src.push_str("\n  return s == ");
+    src.push_str(&EXPR_DEPTH.to_string());
+    src.push_str(" ? 0 : 1;\n}\n");
+    src
+}
+
+#[test]
+fn bytecode_runs_deep_nesting_in_constant_stack() {
+    // Front end and lowering recurse over the syntax: give them room.
+    let compiled = std::thread::Builder::new()
+        .name("deep-nesting-compile".into())
+        .stack_size(1024 * 1024 * 1024)
+        .spawn(|| {
+            let profile = Profile::cerberus();
+            let prog = compile_for::<MorelloCap>(&deep_source(), &profile)
+                .expect("deep program compiles");
+            let ir = cheri_c::core::ir::lower(&prog);
+            (prog, ir)
+        })
+        .expect("spawn compile thread")
+        .join()
+        .expect("compile thread must not overflow its 1 GiB stack");
+    let (prog, ir) = compiled;
+    let ir: Arc<IrProgram> = Arc::new(ir);
+
+    // Execution: a small fixed stack is enough for the flat VM loop —
+    // its call frames live on the heap. The deep AST stays owned out here
+    // (merely borrowed by the VM thread): dropping its Box chains is
+    // itself recursive, so the teardown is handed to a big-stack thread.
+    let outcome = std::thread::scope(|scope| {
+        std::thread::Builder::new()
+            .name("deep-nesting-vm".into())
+            .stack_size(512 * 1024)
+            .spawn_scoped(scope, || {
+                let profile = Profile::cerberus();
+                Interp::<MorelloCap>::new(&prog, &profile)
+                    .with_ir(ir)
+                    .run()
+                    .outcome
+            })
+            .expect("spawn VM thread")
+            .join()
+            .expect("bytecode engine must not overflow a 512 KiB stack")
+    });
+    std::thread::Builder::new()
+        .name("deep-nesting-drop".into())
+        .stack_size(1024 * 1024 * 1024)
+        .spawn(move || drop(prog))
+        .expect("spawn drop thread")
+        .join()
+        .expect("drop thread");
+    assert_eq!(outcome, Outcome::Exit(0));
+}

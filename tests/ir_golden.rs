@@ -1,0 +1,125 @@
+//! Golden tests for the `--emit-ir` rendering of the lowered bytecode.
+//!
+//! The dumps under `tests/golden/ir/` pin the lowering (block structure,
+//! register allocation, constant pools and the textual format itself) so
+//! any change to the lowering pass shows up as a reviewable diff rather
+//! than silently shifting what the VM executes.
+//!
+//! Regenerate after an intentional lowering change:
+//! `CHERI_GOLDEN_BLESS=1 cargo test --test ir_golden`.
+
+use std::path::PathBuf;
+
+use cheri_c::core::{compile_for, ir, Profile};
+use cheri_cap::MorelloCap;
+
+/// Three programs chosen to cover the lowering surface: straight-line
+/// arithmetic with calls, every loop/branch construct (explicit jumps),
+/// and the capability-specific paths (pointer arithmetic, casts,
+/// aggregates, string literals, builtins).
+const PROGRAMS: &[(&str, &str)] = &[
+    (
+        "arith_calls",
+        r#"
+        int add(int a, int b) { return a + b; }
+        int main(void) {
+          int s = 0;
+          s = add(s, 3) * 2 - 1;
+          s += add(s, s) % 7;
+          return s;
+        }
+    "#,
+    ),
+    (
+        "control_flow",
+        r#"
+        int main(void) {
+          int s = 0;
+          for (int i = 0; i < 8; i++) {
+            if (i % 2 == 0) continue;
+            s += i;
+          }
+          while (s > 10) { s -= 3; }
+          do { s++; } while (s < 5 && s != 4);
+          switch (s) {
+            case 4: s = 40; break;
+            case 5: s = 50;
+            default: s += 1;
+          }
+          return s ? s : -1;
+        }
+    "#,
+    ),
+    (
+        "pointers_caps",
+        r#"
+        #include <stdint.h>
+        struct pair { int a; int b; };
+        int main(void) {
+          int x[4] = {1, 2, 3, 4};
+          int *p = &x[1];
+          uintptr_t u = (uintptr_t)p;
+          int *q = (int *)(u + sizeof(int));
+          struct pair pr = {5, 6};
+          pr.b = *q + p[1];
+          char msg[4] = "hi";
+          int n = (int)msg[0];
+          return pr.b + n - x[3] - 'h';
+        }
+    "#,
+    ),
+];
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("ir")
+}
+
+fn render(src: &str) -> String {
+    let profile = Profile::cerberus();
+    let prog = compile_for::<MorelloCap>(src, &profile).expect("golden programs compile");
+    ir::lower(&prog).render()
+}
+
+#[test]
+fn ir_dumps_match_goldens() {
+    let bless = std::env::var("CHERI_GOLDEN_BLESS").is_ok();
+    let dir = golden_dir();
+    let mut failures = Vec::new();
+    for (name, src) in PROGRAMS {
+        let got = render(src);
+        let path = dir.join(format!("{name}.ir"));
+        if bless {
+            std::fs::create_dir_all(&dir).expect("create golden dir");
+            std::fs::write(&path, &got).expect("write golden");
+            continue;
+        }
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+        if got != want {
+            let at = got
+                .lines()
+                .zip(want.lines())
+                .position(|(g, w)| g != w)
+                .unwrap_or(0);
+            failures.push(format!(
+                "{name}: IR dump differs from {} (first differing line {}); \
+                 rerun with CHERI_GOLDEN_BLESS=1 if the lowering change is intentional",
+                path.display(),
+                at + 1
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+/// The dump must be deterministic run-to-run (stable pools and function
+/// order) — a prerequisite for treating dumps as goldens at all.
+#[test]
+fn ir_rendering_is_deterministic() {
+    for (name, src) in PROGRAMS {
+        assert_eq!(render(src), render(src), "{name} rendered unstably");
+    }
+}
