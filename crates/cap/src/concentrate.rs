@@ -139,6 +139,13 @@ pub struct CcCap<P: CcProfile> {
     t: u16,
     /// Internal exponent flag.
     ie: bool,
+    /// Memoised decode of `(b, t, ie, address)`: every constructor refreshes
+    /// it whenever one of those fields changes, so `bounds()` is a field read
+    /// and representability checks need one decode instead of two. Being a
+    /// pure function of the other fields it is safe to include in the derived
+    /// `PartialEq`/`Hash`, and it is deliberately *not* part of the encoded
+    /// form ([`CcCap::to_bits`] / [`CcCap::from_bits`]).
+    decoded_bounds: Bounds,
     perms: Perms,
     otype: OType,
     flags: u8,
@@ -300,7 +307,12 @@ impl<P: CcProfile> CcCap<P> {
     }
 
     fn decoded(&self) -> Bounds {
-        Self::bounds_for(self.b, self.t, self.ie, self.address)
+        debug_assert_eq!(
+            self.decoded_bounds,
+            Self::bounds_for(self.b, self.t, self.ie, self.address),
+            "stale bounds memo"
+        );
+        self.decoded_bounds
     }
 
     /// Pack the permissions into the profile's encoded permission field.
@@ -373,12 +385,17 @@ impl<P: CcProfile> CcCap<P> {
         let t_off = b_off + mw;
         let ie_off = t_off + mw - 2;
         let flags_off = ie_off + 1;
+        let address = (bits as u64) & Self::addr_mask();
+        let b = ((bits >> b_off) & mask_u128(mw)) as u16;
+        let t = ((bits >> t_off) & mask_u128(mw - 2)) as u16;
+        let ie = (bits >> ie_off) & 1 != 0;
         CcCap {
             tag,
-            address: (bits as u64) & Self::addr_mask(),
-            b: ((bits >> b_off) & mask_u128(mw)) as u16,
-            t: ((bits >> t_off) & mask_u128(mw - 2)) as u16,
-            ie: (bits >> ie_off) & 1 != 0,
+            address,
+            b,
+            t,
+            ie,
+            decoded_bounds: Self::bounds_for(b, t, ie, address),
             flags: ((bits >> flags_off) & 1) as u8,
             otype: OType::new(((bits >> P::OTYPE_OFF) & mask_u128(P::OTYPE_BITS)) as u32, P::OTYPE_BITS),
             perms: Self::unpack_perms(bits >> P::PERMS_OFF),
@@ -423,6 +440,7 @@ impl<P: CcProfile> Capability for CcCap<P> {
             b,
             t,
             ie,
+            decoded_bounds: Self::bounds_for(b, t, ie, 0),
             perms: Perms::empty(),
             otype: OType::UNSEALED,
             flags: 0,
@@ -439,6 +457,7 @@ impl<P: CcProfile> Capability for CcCap<P> {
             b,
             t,
             ie,
+            decoded_bounds: Self::bounds_for(b, t, ie, 0),
             perms: Self::max_perms(),
             otype: OType::UNSEALED,
             flags: 0,
@@ -484,10 +503,14 @@ impl<P: CcProfile> Capability for CcCap<P> {
     fn with_address(&self, addr: u64) -> Self {
         let addr = addr & Self::addr_mask();
         let mut c = self.derived();
-        if self.tag && (self.is_sealed() || !self.is_representable(addr)) {
+        // One decode serves both the representability check (new bounds ==
+        // memoised old bounds) and the refreshed memo.
+        let at_new = Self::bounds_for(self.b, self.t, self.ie, addr);
+        if self.tag && (self.is_sealed() || at_new != self.decoded_bounds) {
             c.tag = false;
         }
         c.address = addr;
+        c.decoded_bounds = at_new;
         c
     }
 
@@ -500,6 +523,7 @@ impl<P: CcProfile> Capability for CcCap<P> {
         c.ie = ie;
         c.address = base & Self::addr_mask();
         let new = Self::bounds_for(b, t, ie, c.address);
+        c.decoded_bounds = new;
         let old = self.decoded();
         // Monotonicity: the (possibly rounded) new bounds must stay within
         // the old ones; otherwise the result is untagged.
@@ -546,7 +570,7 @@ impl<P: CcProfile> Capability for CcCap<P> {
 
     fn is_representable(&self, addr: u64) -> bool {
         let addr = addr & Self::addr_mask();
-        Self::bounds_for(self.b, self.t, self.ie, addr) == self.decoded()
+        Self::bounds_for(self.b, self.t, self.ie, addr) == self.decoded_bounds
     }
 
     fn seal(&self, auth: &Self) -> Result<Self, SealError> {
@@ -839,6 +863,29 @@ mod tests {
                 c.is_representable(base + size + above - 1),
                 "size {size}: above slack {above}"
             );
+        }
+    }
+
+    #[test]
+    fn memoised_bounds_track_every_mutation() {
+        // The memo must agree with a from-scratch decode of the encoded
+        // fields after every kind of derivation (decoded() also
+        // debug-asserts this on each read).
+        let c = MorelloCap::root().with_bounds(0x1000, 64);
+        let steps = [
+            c,
+            c.with_address(0x1020),
+            c.with_address(0x100_0000), // non-representable: bounds move
+            c.with_bounds(0x1010, 16),
+            c.with_perms_and(Perms::data()),
+            c.seal_entry(),
+            c.clear_tag(),
+            MorelloCap::null(),
+            MorelloCap::root(),
+        ];
+        for (i, s) in steps.iter().enumerate() {
+            let fresh = MorelloCap::decode(&s.encode(), s.tag()).unwrap();
+            assert_eq!(s.bounds(), fresh.bounds(), "step {i}");
         }
     }
 

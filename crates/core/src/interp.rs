@@ -114,6 +114,19 @@ impl From<MemError> for Stop {
 
 pub(crate) type EResult<T> = Result<T, Stop>;
 
+/// Exit-status conversion for the value `main` returns, shared by both
+/// engines so they agree by construction (the engine-differential contract
+/// compares outcome labels): integer returns are delivered as the value's
+/// low 64 bits — an `unsigned long` above 2⁶³ wraps negative, exactly like
+/// a process exit status through the C ABI — and non-integer returns
+/// (void/fallthrough) exit 0.
+pub(crate) fn exit_code<C: Capability>(v: &Value<C>) -> i64 {
+    match v {
+        Value::Int { v, .. } => v.value() as i64,
+        _ => 0,
+    }
+}
+
 /// Which execution engine drives a run. Both engines share the memory
 /// model, value semantics and builtins; they differ only in how control
 /// flow is dispatched (recursive tree walk vs flat bytecode loop), so
@@ -276,15 +289,13 @@ impl<'p, C: Capability> Interp<'p, C> {
         match self.engine {
             Engine::Tree => {
                 let main = &self.prog.funcs["main"];
-                match self.call_function(main, Vec::new())? {
-                    Value::Int { v, .. } => Ok(v.value() as i64),
-                    _ => Ok(0),
-                }
+                let v = self.call_function(main, Vec::new())?;
+                Ok(exit_code(&v))
             }
             Engine::Bytecode => {
                 let ir = match self.ir_cache.take() {
                     Some(ir) => ir,
-                    None => std::sync::Arc::new(crate::ir::lower(self.prog)),
+                    None => std::sync::Arc::new(crate::ir::lower_opt(self.prog)),
                 };
                 let code = crate::ir::vm::execute(self, ir.as_ref());
                 self.ir_cache = Some(ir);
@@ -725,7 +736,14 @@ impl<'p, C: Capability> Interp<'p, C> {
                     (Some(d), Some(s)) => (d.clone(), s.clone()),
                     _ => return Err(Stop::Unsupported("OptMemcpy operands".into())),
                 };
-                let n = n.as_int().map(IntVal::value).unwrap_or(0) as u64;
+                // A non-integer length is malformed IR, not "copy nothing":
+                // stay loud (and identical to the VM) rather than silently
+                // diverging from what the optimiser intended.
+                let n = n
+                    .as_int()
+                    .map(IntVal::value)
+                    .ok_or_else(|| Stop::Unsupported("OptMemcpy length is not an integer".into()))?
+                    as u64;
                 self.mem.memcpy(&d, &s, n)?;
                 Ok(Flow::Normal)
             }

@@ -29,6 +29,7 @@
 //!   frame first, even when unwinding an error.
 
 pub mod lower;
+pub mod peephole;
 pub mod vm;
 
 use std::collections::HashMap;
@@ -39,6 +40,16 @@ use crate::tast::{Builtin, DeriveFrom};
 use crate::types::{FloatTy, IntTy, Ty};
 
 pub use lower::lower;
+
+/// Lower and then peephole-optimise: the pipeline the bytecode engine
+/// actually runs. [`lower()`] alone is the raw, unoptimised form (used by
+/// the golden dumps to pin the lowering itself).
+#[must_use]
+pub fn lower_opt(prog: &crate::tast::TProgram) -> IrProgram {
+    let mut ir = lower(prog);
+    peephole::optimize(&mut ir);
+    ir
+}
 
 /// A virtual register index (frame-local, dense from 0).
 pub type Reg = u32;

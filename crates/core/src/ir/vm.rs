@@ -63,10 +63,10 @@ pub(crate) fn execute<C: Capability>(it: &mut Interp<'_, C>, ir: &IrProgram) -> 
     let mut frames: Vec<VmFrame<C>> = Vec::new();
     push_frame(it, ir, &mut frames, main, Vec::new(), 0)?;
     match run_loop(it, ir, &gtab, &mut frames) {
-        Ok(v) => match v {
-            Value::Int { v, .. } => Ok(v.value() as i64),
-            _ => Ok(0),
-        },
+        // One shared conversion with the tree engine (see
+        // `interp::exit_code`): the engines cannot drift on how wide or
+        // unsigned returns from `main` become exit statuses.
+        Ok(v) => Ok(crate::interp::exit_code(&v)),
         Err(e) => Err(unwind(it, &mut frames, e)),
     }
 }
@@ -314,7 +314,13 @@ fn dispatch<C: Capability>(
                     (Some(d), Some(s)) => (d.clone(), s.clone()),
                     _ => return Err(Stop::Unsupported("OptMemcpy operands".into())),
                 };
-                let n = val(frame, *n)?.as_int().map(IntVal::value).unwrap_or(0) as u64;
+                // Mirror the tree engine: a non-integer length is malformed
+                // IR and must be loud, not a silent 0-byte copy.
+                let n = val(frame, *n)?
+                    .as_int()
+                    .map(IntVal::value)
+                    .ok_or_else(|| Stop::Unsupported("OptMemcpy length is not an integer".into()))?
+                    as u64;
                 it.mem.memcpy(&d, &s, n)?;
             }
 
@@ -382,15 +388,23 @@ fn dispatch<C: Capability>(
                     match op {
                         BinOp::Eq => it.mem.ptr_eq(&ap, &bp),
                         BinOp::Ne => !it.mem.ptr_eq(&ap, &bp),
-                        _ => {
+                        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
                             let ord = it.mem.ptr_rel_cmp(&ap, &bp)?;
                             match op {
                                 BinOp::Lt => ord == std::cmp::Ordering::Less,
                                 BinOp::Le => ord != std::cmp::Ordering::Greater,
                                 BinOp::Gt => ord == std::cmp::Ordering::Greater,
-                                BinOp::Ge => ord != std::cmp::Ordering::Less,
-                                _ => unreachable!("comparison op"),
+                                _ => ord != std::cmp::Ordering::Less,
                             }
+                        }
+                        // Malformed IR (the lowering only emits comparison
+                        // ops here) must not abort the whole process: the VM
+                        // is headed for a long-lived multi-job service, so
+                        // fail this run loudly instead of panicking.
+                        _ => {
+                            return Err(Stop::Unsupported(format!(
+                                "malformed IR: `{op:?}` is not a pointer comparison"
+                            )))
                         }
                     }
                 };

@@ -1025,3 +1025,117 @@ fn do_while_and_unary_ops() {
         5,
     );
 }
+
+// ── Engine-parity regression tests (PR 8 bugfixes) ────────────────────────
+//
+// Each of these pins a path where the bytecode VM used to diverge from (or
+// crash instead of matching) the reference tree engine. They run both
+// engines explicitly rather than relying on the generative differential
+// test to eventually draw the construct.
+
+/// `main` returning an `unsigned long` above `2^63`: both engines must
+/// produce the *same* wrapped process exit value. They used to agree only
+/// by coincidence (duplicated `as i64` casts); they now share
+/// `interp::exit_code`, so this pins the conversion itself.
+#[test]
+fn exit_code_conversion_matches_across_engines() {
+    use crate::{run_with_engine, Engine, MorelloCap};
+    // x = 2^63 (unsigned shift, well-defined), return x + 5 = 2^63 + 5.
+    let src = "unsigned long main(void) {\n\
+                 unsigned long x = 1;\n\
+                 x = x << 63;\n\
+                 return x + 5;\n\
+               }";
+    let profile = Profile::cerberus();
+    let tree = run_with_engine::<MorelloCap>(src, &profile, Engine::Tree);
+    let vm = run_with_engine::<MorelloCap>(src, &profile, Engine::Bytecode);
+    // 2^63 + 5 wraps to i64::MIN + 5 when narrowed to the exit i64.
+    assert_eq!(tree.outcome, Outcome::Exit(i64::MIN + 5), "tree engine");
+    assert_eq!(vm.outcome, Outcome::Exit(i64::MIN + 5), "bytecode engine");
+}
+
+/// A recognised-memcpy loop whose byte count is not an integer value must
+/// be a loud `Unsupported` error in *both* engines. The VM used to treat
+/// the length as 0 (`unwrap_or(0)`), silently skipping the copy.
+#[test]
+fn opt_memcpy_non_integer_length_is_loud_in_both_engines() {
+    use crate::lex::Pos;
+    use crate::tast::{TExpr, TExprKind, TStmt};
+    use crate::types::{FloatTy, IntTy, Ty};
+    use crate::{Engine, Interp, MorelloCap};
+
+    let profile = Profile::cerberus();
+    let mut prog = crate::compile("int main(void) { return 0; }", &profile).unwrap();
+    // The source recogniser can only build integer-typed counts, so forge
+    // the malformed statement directly: a float-typed byte count.
+    let str_ptr = |s: &str| TExpr {
+        ty: Ty::ptr(Ty::Int(IntTy::Char)),
+        kind: TExprKind::StrLit(s.into()),
+        pos: Pos::default(),
+        from_noncap: false,
+    };
+    let bad = TStmt::OptMemcpy {
+        dst: str_ptr("dst"),
+        src: str_ptr("src"),
+        n: TExpr {
+            ty: Ty::Float(FloatTy::F64),
+            kind: TExprKind::ConstFloat(1.0),
+            pos: Pos::default(),
+            from_noncap: false,
+        },
+    };
+    prog.funcs.get_mut("main").unwrap().body.insert(0, bad);
+
+    for engine in [Engine::Tree, Engine::Bytecode] {
+        let r = Interp::<MorelloCap>::new(&prog, &profile).with_engine(engine).run();
+        match &r.outcome {
+            Outcome::Error(m) => assert!(
+                m.contains("OptMemcpy length is not an integer"),
+                "{engine:?}: unexpected message {m:?}"
+            ),
+            other => panic!("{engine:?}: expected loud error, got {other}"),
+        }
+    }
+}
+
+/// Malformed IR — a `PtrCmp` whose operator is not a comparison — must
+/// fail the run with a `Stop` error, not `unreachable!`: the VM is headed
+/// for a long-lived service where one bad program must not take down the
+/// process.
+#[test]
+fn malformed_ptr_cmp_op_errors_instead_of_panicking() {
+    use crate::ast::BinOp;
+    use crate::ir::{self, Inst};
+    use crate::types::{IntTy, Ty};
+    use crate::{Interp, MorelloCap};
+
+    let profile = Profile::cerberus();
+    let prog = crate::compile("int main(void) { return 0; }", &profile).unwrap();
+    let mut irp = ir::lower(&prog);
+    let sid = ir::StrId(irp.strs.len() as u32);
+    irp.strs.push("x".into());
+    let tid = ir::TyId(irp.types.len() as u32);
+    irp.types.push(Ty::ptr(Ty::Int(IntTy::Char)));
+    let mi = irp.main.unwrap() as usize;
+    let f = &mut irp.funcs[mi];
+    f.code = vec![
+        Inst::StrLit { dst: 0, s: sid, ty: tid },
+        Inst::StrLit { dst: 1, s: sid, ty: tid },
+        // `Add` is not a comparison: no lowering emits this.
+        Inst::PtrCmp { dst: 2, op: BinOp::Add, a: 0, b: 1 },
+        Inst::RetFall,
+    ];
+    f.n_regs = 3;
+    f.block_pc = vec![0];
+
+    let r = Interp::<MorelloCap>::new(&prog, &profile)
+        .with_ir(std::sync::Arc::new(irp))
+        .run();
+    match &r.outcome {
+        Outcome::Error(m) => assert!(
+            m.contains("not a pointer comparison"),
+            "unexpected message {m:?}"
+        ),
+        other => panic!("expected loud error, got {other}"),
+    }
+}

@@ -1255,7 +1255,7 @@ impl<C: Capability> CheriMemory<C> {
     /// bytes at an integer type exposes the allocations those bytes point
     /// into (clause (2g) of §4.3).
     fn expose_tainted(&mut self, bytes: &[AbsByte]) {
-        let tainted: Vec<AllocId> = bytes.iter().filter_map(|b| b.prov.alloc_id()).collect();
+        let tainted: Vec<AllocId> = bytes.iter().filter_map(|b| b.prov().alloc_id()).collect();
         for id in tainted {
             if let Some(a) = self.alloc_mut(id) {
                 if a.alive {
@@ -1318,7 +1318,7 @@ impl<C: Capability> CheriMemory<C> {
         if want_intptr && self.cfg.capabilities && size == C::CAP_BYTES as u64 {
             let mut raw = [0u8; SCALAR_BUF];
             for (r, b) in raw.iter_mut().zip(bytes) {
-                *r = b.value.unwrap_or(0);
+                *r = b.concrete();
             }
             let raw = &raw[..size as usize];
             let prov = recover_provenance(bytes);
@@ -1344,7 +1344,7 @@ impl<C: Capability> CheriMemory<C> {
         self.expose_tainted(bytes);
         let mut v: i128 = 0;
         for (i, b) in bytes.iter().enumerate() {
-            v |= i128::from(b.value.unwrap_or(0)) << (8 * i);
+            v |= i128::from(b.concrete()) << (8 * i);
         }
         if signed && size < 16 {
             let shift = 128 - 8 * size as u32;
@@ -1414,7 +1414,7 @@ impl<C: Capability> CheriMemory<C> {
         self.stats.loads += 1;
         let mut raw = [0u8; SCALAR_BUF];
         for (r, b) in raw.iter_mut().zip(bytes.iter()) {
-            *r = b.value.unwrap_or(0);
+            *r = b.concrete();
         }
         let raw = &raw[..size as usize];
         let prov = recover_provenance(bytes);
@@ -1544,7 +1544,7 @@ impl<C: Capability> CheriMemory<C> {
         let bb = self.read_bytes(b.addr(), n);
         for (x, y) in ba.iter().zip(bb.iter()) {
             let (x, y) = if self.cfg.abstract_ub {
-                match (x.value, y.value) {
+                match (x.value(), y.value()) {
                     (Some(x), Some(y)) => (x, y),
                     _ => {
                         return Err(MemError::ub(

@@ -222,6 +222,77 @@ fn pointer_store_load_roundtrip() {
     );
 }
 
+// ── Packed AbsByte ───────────────────────────────────────────────────────
+
+/// An arbitrary §4.3 triple for the packing round-trip property.
+#[derive(Clone, Debug, PartialEq)]
+struct Parts {
+    prov: crate::Provenance,
+    value: Option<u8>,
+    copy_index: Option<u8>,
+}
+
+cheri_qc::no_shrink!(Parts);
+
+fn arb_parts(rng: &mut Rng) -> Parts {
+    use crate::{AllocId, IotaId, Provenance};
+    // Ids span the full 44-bit packed field, biased toward small (realistic)
+    // allocation counters.
+    let id = |rng: &mut Rng| -> u64 {
+        if rng.gen() {
+            u64::from(rng.gen::<u16>())
+        } else {
+            rng.gen_range(0u64..1 << 44)
+        }
+    };
+    let prov = match rng.gen_range(0..3u8) {
+        0 => Provenance::Empty,
+        1 => Provenance::Alloc(AllocId(id(rng))),
+        _ => Provenance::Iota(IotaId(id(rng))),
+    };
+    Parts {
+        prov,
+        value: if rng.gen() { Some(rng.gen::<u8>()) } else { None },
+        copy_index: if rng.gen() { Some(rng.gen::<u8>()) } else { None },
+    }
+}
+
+/// Packing is lossless and canonical: `parts ∘ from_parts = id`, packed
+/// equality coincides with triple equality, and the derived accessors
+/// (`is_init`, `concrete`) match the unpacked definitions.
+#[test]
+fn packed_absbyte_roundtrip_lossless() {
+    use crate::AbsByte;
+    check(
+        "packed_absbyte_roundtrip_lossless",
+        Config::cases(512),
+        |rng| {
+            let n = rng.gen_range(1usize..32);
+            (0..n).map(|_| arb_parts(rng)).collect::<Vec<Parts>>()
+        },
+        |parts| {
+            for p in parts {
+                let b = AbsByte::from_parts(p.prov, p.value, p.copy_index);
+                let (prov, value, copy_index) = b.parts();
+                assert_eq!(
+                    Parts { prov, value, copy_index },
+                    *p,
+                    "unpack(pack(x)) != x"
+                );
+                assert_eq!(b.is_init(), p.value.is_some());
+                assert_eq!(b.concrete(), p.value.unwrap_or(0));
+            }
+            for a in parts {
+                for b in parts {
+                    let pa = AbsByte::from_parts(a.prov, a.value, a.copy_index);
+                    let pb = AbsByte::from_parts(b.prov, b.value, b.copy_index);
+                    assert_eq!(pa == pb, a == b, "packed equality is not canonical");
+                }
+            }
+        },
+    );
+}
+
 // ── Differential: flat store vs legacy store ─────────────────────────────
 
 /// A mixed (deliberately UB-capable) operation for the store-equivalence

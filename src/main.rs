@@ -307,6 +307,8 @@ fn run_lint(src: &str, profiles: &[Profile], opts: &Options) -> ExitCode {
 /// `--emit-ir`: pretty-print the lowered bytecode program (constant
 /// pools, then per-function labelled blocks) with stable formatting, so
 /// lowering changes show up as reviewable diffs (`tests/golden/ir/`).
+/// Prints both stages: the raw lowering, then the peephole-optimised
+/// form the bytecode engine actually executes.
 fn emit_ir(src: &str, profile: &Profile, opts: &Options) -> ExitCode {
     let prog = match opts.arch.as_str() {
         "cheriot" => compile_for::<CheriotCap>(src, profile),
@@ -314,7 +316,10 @@ fn emit_ir(src: &str, profile: &Profile, opts: &Options) -> ExitCode {
     };
     match prog {
         Ok(p) => {
+            println!(";; raw (as lowered)");
             print!("{}", cheri_c::core::ir::lower(&p).render());
+            println!("\n;; optimized (peephole; executed by --engine bytecode)");
+            print!("{}", cheri_c::core::ir::lower_opt(&p).render());
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -1,9 +1,12 @@
 //! Golden tests for the `--emit-ir` rendering of the lowered bytecode.
 //!
-//! The dumps under `tests/golden/ir/` pin the lowering (block structure,
-//! register allocation, constant pools and the textual format itself) so
-//! any change to the lowering pass shows up as a reviewable diff rather
-//! than silently shifting what the VM executes.
+//! The dumps under `tests/golden/ir/` pin both stages of the pipeline:
+//! `<name>.ir` is the raw lowering (block structure, register
+//! allocation, constant pools and the textual format itself) and
+//! `<name>.opt.ir` is the peephole-optimised form the bytecode engine
+//! executes, so any change to the lowering *or* to the optimiser shows
+//! up as a reviewable diff rather than silently shifting what the VM
+//! runs.
 //!
 //! Regenerate after an intentional lowering change:
 //! `CHERI_GOLDEN_BLESS=1 cargo test --test ir_golden`.
@@ -77,10 +80,14 @@ fn golden_dir() -> PathBuf {
         .join("ir")
 }
 
-fn render(src: &str) -> String {
+fn render(src: &str, optimized: bool) -> String {
     let profile = Profile::cerberus();
     let prog = compile_for::<MorelloCap>(src, &profile).expect("golden programs compile");
-    ir::lower(&prog).render()
+    if optimized {
+        ir::lower_opt(&prog).render()
+    } else {
+        ir::lower(&prog).render()
+    }
 }
 
 #[test]
@@ -88,9 +95,12 @@ fn ir_dumps_match_goldens() {
     let bless = std::env::var("CHERI_GOLDEN_BLESS").is_ok();
     let dir = golden_dir();
     let mut failures = Vec::new();
-    for (name, src) in PROGRAMS {
-        let got = render(src);
-        let path = dir.join(format!("{name}.ir"));
+    let cases = PROGRAMS.iter().flat_map(|(name, src)| {
+        [(format!("{name}.ir"), *src, false), (format!("{name}.opt.ir"), *src, true)]
+    });
+    for (file, src, optimized) in cases {
+        let got = render(src, optimized);
+        let path = dir.join(&file);
         if bless {
             std::fs::create_dir_all(&dir).expect("create golden dir");
             std::fs::write(&path, &got).expect("write golden");
@@ -105,7 +115,7 @@ fn ir_dumps_match_goldens() {
                 .position(|(g, w)| g != w)
                 .unwrap_or(0);
             failures.push(format!(
-                "{name}: IR dump differs from {} (first differing line {}); \
+                "{file}: IR dump differs from {} (first differing line {}); \
                  rerun with CHERI_GOLDEN_BLESS=1 if the lowering change is intentional",
                 path.display(),
                 at + 1
@@ -120,6 +130,7 @@ fn ir_dumps_match_goldens() {
 #[test]
 fn ir_rendering_is_deterministic() {
     for (name, src) in PROGRAMS {
-        assert_eq!(render(src), render(src), "{name} rendered unstably");
+        assert_eq!(render(src, false), render(src, false), "{name} rendered unstably");
+        assert_eq!(render(src, true), render(src, true), "{name} optimised render unstable");
     }
 }
