@@ -212,6 +212,20 @@ impl<'p, C: Capability> Interp<'p, C> {
         self
     }
 
+    /// Adopt `mem` as this interpreter's memory instance, arena-resetting
+    /// it to this profile's configuration first
+    /// ([`CheriMemory::reset`]). Paired with [`Interp::run_recycling`],
+    /// this lets a long-lived caller (the `cheri-serve` batch workers)
+    /// reuse one memory arena across jobs instead of reallocating; the
+    /// reset guarantees the observable behaviour is identical to a fresh
+    /// instance.
+    #[must_use]
+    pub fn with_recycled_memory(mut self, mut mem: CheriMemory<C>) -> Self {
+        mem.reset(self.profile.mem);
+        self.mem = mem;
+        self
+    }
+
     /// Run the program: initialise globals and functions, call `main`.
     #[must_use] 
     pub fn run(self) -> RunResult {
@@ -242,6 +256,28 @@ impl<'p, C: Capability> Interp<'p, C> {
         let outcome = self.run_to_outcome();
         let events = self.mem.take_events();
         (self.into_result(outcome), events)
+    }
+
+    /// Like [`Interp::run`], additionally returning the memory instance so
+    /// the caller can recycle its arena into the next run (see
+    /// [`Interp::with_recycled_memory`]).
+    #[must_use]
+    pub fn run_recycling(mut self) -> (RunResult, CheriMemory<C>) {
+        let outcome = self.run_to_outcome();
+        self.into_result_and_mem(outcome)
+    }
+
+    /// [`Interp::run_with_events`] + [`Interp::run_recycling`]: the typed
+    /// event stream *and* the recyclable memory instance.
+    #[must_use]
+    pub fn run_with_events_recycling(mut self) -> (RunResult, Vec<MemEvent>, CheriMemory<C>) {
+        if !self.mem.sink_active() {
+            self.mem.enable_trace();
+        }
+        let outcome = self.run_to_outcome();
+        let events = self.mem.take_events();
+        let (result, mem) = self.into_result_and_mem(outcome);
+        (result, events, mem)
     }
 
     /// Run to completion and emit the terminal event into the sink.
@@ -282,6 +318,19 @@ impl<'p, C: Capability> Interp<'p, C> {
             unspecified_reads: self.unspecified_reads,
             mem_stats: self.mem.stats,
         }
+    }
+
+    /// [`Interp::into_result`], extracting the memory instance for reuse.
+    fn into_result_and_mem(mut self, outcome: Outcome) -> (RunResult, CheriMemory<C>) {
+        let mem = std::mem::replace(&mut self.mem, CheriMemory::new(self.profile.mem));
+        let result = RunResult {
+            outcome,
+            stdout: std::mem::take(&mut self.stdout),
+            stderr: std::mem::take(&mut self.stderr),
+            unspecified_reads: self.unspecified_reads,
+            mem_stats: mem.stats,
+        };
+        (result, mem)
     }
 
     fn run_inner(&mut self) -> EResult<i64> {

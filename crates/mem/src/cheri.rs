@@ -244,8 +244,18 @@ pub struct CheriMemory<C: Capability> {
     /// Event-sink slot: when empty, emitting costs one branch and events
     /// are never constructed (`cheri-obs`' zero-cost-when-off contract).
     sink: SinkHandle,
+    /// Flat-store byte buffers harvested by [`CheriMemory::reset`] and
+    /// reused by subsequent allocations, so a long-lived instance (one
+    /// batch-service worker) stops paying a heap allocation per program
+    /// object. Buffer identity is not observable: a recycled buffer is
+    /// cleared and refilled with `UNINIT` exactly like a fresh one.
+    recycle: Vec<Vec<AbsByte>>,
     _cap: std::marker::PhantomData<C>,
 }
+
+/// Cap on the number of byte buffers [`CheriMemory::reset`] keeps for
+/// reuse; beyond it, buffers are dropped like in a single-shot run.
+const RECYCLE_POOL_CAP: usize = 256;
 
 impl<C: Capability> CheriMemory<C> {
     /// Create an empty memory with the given configuration.
@@ -269,8 +279,54 @@ impl<C: Capability> CheriMemory<C> {
             globals_ptr: cfg.layout.globals_base,
             stats: MemStats::default(),
             sink: SinkHandle::none(),
+            recycle: Vec::new(),
             _cap: std::marker::PhantomData,
         }
+    }
+
+    /// Reset this instance to the pristine state of [`CheriMemory::new`]
+    /// under `cfg` — same observable behaviour, but the flat-store byte
+    /// buffers of the previous run are kept (capacity-preserving) and
+    /// reused by future allocations. A long-lived caller executing many
+    /// programs (the `cheri-serve` batch workers) resets one arena per
+    /// worker instead of reallocating a world per job.
+    ///
+    /// Any installed event sink is removed (and dropped): a recycled
+    /// memory must not leak one job's trace into the next.
+    pub fn reset(&mut self, cfg: MemConfig) {
+        for a in &mut self.allocations {
+            let buf = std::mem::take(&mut a.buf);
+            if buf.capacity() > 0 && self.recycle.len() < RECYCLE_POOL_CAP {
+                self.recycle.push(buf);
+            }
+        }
+        self.allocations.clear();
+        self.next_alloc = 1;
+        self.iotas.clear();
+        self.next_iota = 0;
+        self.bytes.clear();
+        self.caps = CapMeta::new();
+        self.index.clear();
+        self.spill.clear();
+        self.spill_caps = CapMeta::new();
+        self.cfg = cfg;
+        self.stack_ptr = cfg.layout.stack_base;
+        self.heap_ptr = cfg.layout.heap_base;
+        self.globals_ptr = cfg.layout.globals_base;
+        self.stats = MemStats::default();
+        self.sink = SinkHandle::none();
+    }
+
+    /// A zeroed (`UNINIT`-filled) byte buffer of length `len`, drawn from
+    /// the recycle pool when a buffer with enough capacity is available.
+    fn uninit_buf(&mut self, len: usize) -> Vec<AbsByte> {
+        if let Some(i) = self.recycle.iter().position(|b| b.capacity() >= len) {
+            let mut buf = self.recycle.swap_remove(i);
+            buf.clear();
+            buf.resize(len, AbsByte::UNINIT);
+            return buf;
+        }
+        vec![AbsByte::UNINIT; len]
     }
 
     /// Enable memory-event tracing: every observable action is recorded as
@@ -475,7 +531,7 @@ impl<C: Capability> CheriMemory<C> {
             // First capability-aligned address at or above `base`.
             let first_slot = (base.wrapping_add(cb - 1)) & !(cb - 1);
             let n_slots = Allocation::slot_count(base, reserved, first_slot, cb);
-            let mut buf = vec![AbsByte::UNINIT; reserved as usize];
+            let mut buf = self.uninit_buf(reserved as usize);
             if let Some(init) = init {
                 for (i, b) in init.iter().enumerate() {
                     buf[i] = AbsByte::data(*b);

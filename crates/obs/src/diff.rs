@@ -238,6 +238,35 @@ pub fn render_diff(d: &TraceDiff) -> String {
     out
 }
 
+/// Render the first divergence of each named event stream against the
+/// first (reference) stream, in normalized (allocation-relative)
+/// coordinates — the report printed by `cheri-c --all --trace-diff` and by
+/// the batch service's trace-diff mode. Empty when `runs` is empty.
+#[must_use]
+pub fn render_profile_diffs(runs: &[(String, Vec<MemEvent>)]) -> String {
+    use std::fmt::Write as _;
+    let Some((ref_name, ref_events)) = runs.first() else {
+        return String::new();
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "── trace diff (reference: {ref_name}, normalized addresses) ──"
+    );
+    for (name, events) in &runs[1..] {
+        match diff(ref_events, events, DiffMode::Normalized, 3) {
+            None => {
+                let _ = writeln!(out, "{name}: no divergence ({} events)", events.len());
+            }
+            Some(d) => {
+                let _ = writeln!(out, "{name}: diverges from {ref_name}:");
+                out.push_str(&render_diff(&d));
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,182 @@
+//! The content-hash program cache: parse + type-check + lower **once**,
+//! share the result immutably across profiles, jobs and worker threads.
+//!
+//! The front end (`cheri_core::compile_for`) depends on exactly three
+//! inputs: the source text, the target pointer size (capability size, or
+//! machine-word size for the ISO baseline), and the profile's emulated
+//! optimisation effects (`OptFlags` — the §3 transformations are applied
+//! as AST/IR passes at compile time). [`CompileKey`] hashes precisely
+//! those, so two profiles that agree on them — e.g. every `-O0` CHERI
+//! hardware profile — share one compiled program, and re-submitting a
+//! program the service has already seen costs a hash lookup.
+//!
+//! Concurrency: the map lock is held only for lookup and insert, never
+//! during compilation, so independent programs compile in parallel on
+//! different workers. If two workers race to compile the same key, the
+//! first insert wins and both end up holding the same [`Arc`] — duplicate
+//! work, never divergent results.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use cheri_cap::Capability;
+use cheri_core::ir::IrProgram;
+use cheri_core::tast::TProgram;
+use cheri_core::{OptFlags, Profile};
+
+/// FNV-1a 64-bit content hash. Hermetic and stable; the cache only needs
+/// within-process stability, and collision resistance far beyond the size
+/// of any realistic batch.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Pack the observable compile-time optimisation effects into a key
+/// fragment. Must cover every `OptFlags` field the front end reads.
+fn opt_fingerprint(o: &OptFlags) -> u64 {
+    u64::from(o.level)
+        | (u64::from(o.elide_identity_writes) << 8)
+        | (u64::from(o.fold_transient_arith) << 9)
+        | (u64::from(o.loops_to_memcpy) << 10)
+}
+
+/// What makes two (source, profile, capability-model) compilations share
+/// a cache slot: same source bytes, same pointer size, same optimisation
+/// fingerprint. Everything else about a profile (layout, UB mode,
+/// revocation, …) is a *runtime* axis and deliberately not part of the
+/// key — that is what makes the cached program reusable across the whole
+/// differential profile set.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CompileKey {
+    /// FNV-1a hash of the source text.
+    pub src_hash: u64,
+    /// Stored-pointer size in bytes under this profile and capability
+    /// model (the front end sizes pointer types with it).
+    pub ptr_size: u64,
+    /// Packed [`OptFlags`] fingerprint.
+    pub opt: u64,
+}
+
+impl CompileKey {
+    /// The key `compile_for::<C>(src, profile)` compiles under.
+    #[must_use]
+    pub fn for_profile<C: Capability>(src: &str, profile: &Profile) -> Self {
+        let ptr_size = if profile.mem.capabilities {
+            C::CAP_BYTES as u64
+        } else {
+            u64::from(C::ADDR_BITS / 8)
+        };
+        CompileKey {
+            src_hash: fnv1a64(src.as_bytes()),
+            ptr_size,
+            opt: opt_fingerprint(&profile.opt),
+        }
+    }
+}
+
+/// Everything the front end produces for one [`CompileKey`]: the typed
+/// AST (consumed by the interpreter's world setup, the tree engine and
+/// the lint executor) and the peephole-optimised bytecode the VM runs.
+/// Shared immutably; execution never mutates a compiled program.
+#[derive(Debug)]
+pub struct CachedProgram {
+    /// The typed, profile-optimised AST.
+    pub tast: TProgram,
+    /// The lowered + peephole-optimised IR (`cheri_core::ir::lower_opt`),
+    /// pre-wrapped in an [`Arc`] for `Interp::with_ir`.
+    pub ir: Arc<IrProgram>,
+}
+
+/// Front-end errors are cached too: a batch with 7 profiles over a
+/// syntactically broken program should diagnose it once, not 7 times.
+type CacheEntry = Result<Arc<CachedProgram>, String>;
+
+/// The shared program cache. Cheap to share (`Arc<ProgramCache>`); one
+/// instance typically lives as long as the service.
+#[derive(Default)]
+pub struct ProgramCache {
+    map: Mutex<HashMap<CompileKey, CacheEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ProgramCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        ProgramCache::default()
+    }
+
+    /// Look up `(src, profile)` under capability model `C`, compiling and
+    /// inserting on miss. Compilation runs *outside* the map lock.
+    ///
+    /// # Errors
+    ///
+    /// Returns the front end's human-readable message on parse or type
+    /// errors (cached like successes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache lock is poisoned (a worker panicked while
+    /// inserting — unreachable in normal operation).
+    pub fn get_or_compile<C: Capability>(
+        &self,
+        src: &str,
+        profile: &Profile,
+    ) -> Result<Arc<CachedProgram>, String> {
+        let key = CompileKey::for_profile::<C>(src, profile);
+        if let Some(entry) = self.map.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return entry.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let compiled: CacheEntry = cheri_core::compile_for::<C>(src, profile).map(|tast| {
+            let ir = Arc::new(cheri_core::ir::lower_opt(&tast));
+            Arc::new(CachedProgram { tast, ir })
+        });
+        // First insert wins; a racing compile of the same key discards its
+        // result and adopts the winner, so all holders share one Arc.
+        self.map
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert(compiled)
+            .clone()
+    }
+
+    /// Number of distinct compiled entries currently cached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache lock is poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// Is the cache empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookup hits so far. Counters are advisory (racy under concurrent
+    /// misses of the same key) — use them for reporting, not gating.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookup misses so far (advisory, see [`ProgramCache::hits`]).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}

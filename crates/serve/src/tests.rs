@@ -1,0 +1,227 @@
+//! Unit tests: cache keying/sharing, manifest parsing, service ordering
+//! and determinism on small batches. (The corpus-scale determinism and
+//! cache-soundness gates live in `tests/batch_determinism.rs` and
+//! `tests/program_cache_qc.rs` at the workspace root.)
+
+use std::sync::Arc;
+
+use cheri_core::{CheriotCap, MorelloCap, Profile};
+
+use crate::cache::{CompileKey, ProgramCache};
+use crate::job::{parse_job_line, profiles_from_spec, JobSpec, Mode};
+use crate::service::{run_batch, Service};
+
+fn job(id: &str, src: &str, profiles: Vec<Profile>, mode: Mode) -> JobSpec {
+    JobSpec {
+        id: id.into(),
+        source: Arc::new(src.into()),
+        profiles,
+        mode,
+    }
+}
+
+const OK_PROGRAM: &str = "int main(void) { int x = 40; return x + 2; }";
+const UB_PROGRAM: &str = "int main(void) { int a[2]; a[2] = 1; return 0; }";
+
+#[test]
+fn cache_shares_across_equal_keys_and_profiles() {
+    let cache = ProgramCache::new();
+    // cerberus and clang-morello-O0 differ only in runtime axes: one key.
+    let a = cache
+        .get_or_compile::<MorelloCap>(OK_PROGRAM, &Profile::cerberus())
+        .unwrap();
+    let b = cache
+        .get_or_compile::<MorelloCap>(OK_PROGRAM, &Profile::clang_morello(false))
+        .unwrap();
+    assert!(Arc::ptr_eq(&a, &b), "O0 profiles share one compilation");
+    assert_eq!(cache.len(), 1);
+    assert_eq!(cache.hits(), 1);
+    assert_eq!(cache.misses(), 1);
+    // -O3 changes the optimisation fingerprint: a second entry.
+    let c = cache
+        .get_or_compile::<MorelloCap>(OK_PROGRAM, &Profile::clang_morello(true))
+        .unwrap();
+    assert!(!Arc::ptr_eq(&a, &c));
+    assert_eq!(cache.len(), 2);
+    // The ISO baseline changes the pointer size: a third entry.
+    cache
+        .get_or_compile::<MorelloCap>(OK_PROGRAM, &Profile::iso_baseline())
+        .unwrap();
+    assert_eq!(cache.len(), 3);
+}
+
+#[test]
+fn compile_key_distinguishes_capability_models() {
+    let p = Profile::cerberus();
+    let morello = CompileKey::for_profile::<MorelloCap>(OK_PROGRAM, &p);
+    let cheriot = CompileKey::for_profile::<CheriotCap>(OK_PROGRAM, &p);
+    assert_ne!(morello, cheriot, "capability size is part of the key");
+}
+
+#[test]
+fn cache_caches_front_end_errors() {
+    let cache = ProgramCache::new();
+    let e1 = cache
+        .get_or_compile::<MorelloCap>("int main(void) {", &Profile::cerberus())
+        .unwrap_err();
+    let e2 = cache
+        .get_or_compile::<MorelloCap>("int main(void) {", &Profile::cerberus())
+        .unwrap_err();
+    assert_eq!(e1, e2);
+    assert_eq!(cache.len(), 1);
+    assert_eq!(cache.hits(), 1);
+}
+
+#[test]
+fn batch_outputs_preserve_submission_order() {
+    // Jobs with observably different results, submitted in a known order;
+    // 4 workers over 1 core guarantees out-of-order completion is at
+    // least possible — outputs must still come back in submission order.
+    let sources = [
+        "int main(void) { return 3; }",
+        "int main(void) { return 1; }",
+        UB_PROGRAM,
+        "int main(void) { return 2; }",
+    ];
+    let jobs: Vec<JobSpec> = sources
+        .iter()
+        .enumerate()
+        .map(|(i, s)| job(&format!("j{i}"), s, vec![Profile::cerberus()], Mode::Run))
+        .collect();
+    let out = run_batch::<MorelloCap>(jobs, 4);
+    assert_eq!(out.len(), 4);
+    assert_eq!(out[0].id, "j0");
+    assert_eq!(out[0].profiles[0].outcome, "exit(3)");
+    assert_eq!(out[1].profiles[0].outcome, "exit(1)");
+    assert!(out[2].profiles[0].outcome.starts_with("UB:"));
+    assert_eq!(out[3].profiles[0].outcome, "exit(2)");
+}
+
+#[test]
+fn worker_counts_agree_byte_for_byte() {
+    let mk = || {
+        (0..12)
+            .map(|i| {
+                let src = format!("int main(void) {{ int x = {i}; return x * 2; }}");
+                job(
+                    &format!("job-{i}"),
+                    &src,
+                    Profile::all_compared(),
+                    if i % 3 == 0 { Mode::TraceDiff } else { Mode::Run },
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let render = |outs: Vec<crate::job::JobOutput>| {
+        outs.iter().map(crate::job::JobOutput::render).collect::<Vec<_>>()
+    };
+    let one = render(run_batch::<MorelloCap>(mk(), 1));
+    let four = render(run_batch::<MorelloCap>(mk(), 4));
+    assert_eq!(one, four, "worker count must not change any output byte");
+}
+
+#[test]
+fn lint_mode_reports_verdicts() {
+    let out = run_batch::<MorelloCap>(
+        vec![job("l", UB_PROGRAM, vec![Profile::cerberus()], Mode::Lint)],
+        2,
+    );
+    assert_eq!(out[0].profiles[0].outcome, "must-ub");
+    let lint = out[0].profiles[0].lint.as_deref().unwrap();
+    assert!(lint.contains("out-of-bounds"), "{lint}");
+}
+
+#[test]
+fn trace_diff_mode_reports_divergence() {
+    // §3.1-style one-past write: UB under cerberus, trap on hardware —
+    // the event streams diverge at the terminal event.
+    let src = r#"
+        void f(int *p, int i) { int *q = p + i; *q = 42; }
+        int main(void) { int x=0, y=0; f(&x, 1); return y; }
+    "#;
+    let profiles = vec![Profile::cerberus(), Profile::clang_morello(false)];
+    let out = run_batch::<MorelloCap>(vec![job("d", src, profiles, Mode::TraceDiff)], 2);
+    let diff = out[0].trace_diff.as_deref().unwrap();
+    assert!(diff.contains("diverges from cerberus"), "{diff}");
+    assert!(out[0].profiles.iter().all(|p| p.events.is_some()));
+}
+
+#[test]
+fn streaming_interface_emits_in_order() {
+    let mut svc = Service::<MorelloCap>::new(3);
+    for i in 0..6 {
+        let src = format!("int main(void) {{ return {i}; }}");
+        svc.submit(job(&format!("s{i}"), &src, vec![Profile::cerberus()], Mode::Run));
+    }
+    let mut seen = Vec::new();
+    while let Some(o) = svc.next_output() {
+        seen.push(o.profiles[0].outcome.clone());
+    }
+    assert_eq!(seen, ["exit(0)", "exit(1)", "exit(2)", "exit(3)", "exit(4)", "exit(5)"]);
+    assert_eq!(svc.pending(), 0);
+    // The service stays alive for more submissions.
+    svc.submit(job("again", OK_PROGRAM, vec![Profile::cerberus()], Mode::Run));
+    assert_eq!(svc.next_output().unwrap().profiles[0].outcome, "exit(42)");
+}
+
+#[test]
+fn manifest_lines_parse_and_reject() {
+    assert!(parse_job_line("", "1", None).unwrap().is_none());
+    assert!(parse_job_line("# comment", "1", None).unwrap().is_none());
+    assert!(parse_job_line("run cerberus", "1", None).is_err());
+    assert!(parse_job_line("fly cerberus x.c", "1", None)
+        .unwrap_err()
+        .contains("unknown mode"));
+    assert!(parse_job_line("run warp9 x.c", "1", None)
+        .unwrap_err()
+        .contains("unknown profile"));
+    assert_eq!(profiles_from_spec("all").unwrap().len(), 8);
+    assert_eq!(profiles_from_spec("compared").unwrap().len(), 7);
+    assert_eq!(
+        profiles_from_spec("cerberus,cheriot").unwrap()[1].name,
+        "cheriot"
+    );
+
+    // Round-trip through a real manifest file.
+    let dir = std::env::temp_dir().join("cheri-serve-manifest-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("p.c"), OK_PROGRAM).unwrap();
+    std::fs::write(
+        dir.join("jobs.txt"),
+        "# demo\nrun cerberus p.c\nlint compared p.c\n",
+    )
+    .unwrap();
+    let jobs = crate::job::load_manifest(dir.join("jobs.txt").to_str().unwrap()).unwrap();
+    assert_eq!(jobs.len(), 2);
+    assert_eq!(jobs[0].id, "2:p.c");
+    assert_eq!(jobs[0].mode, Mode::Run);
+    assert_eq!(jobs[1].mode, Mode::Lint);
+    assert_eq!(jobs[1].profiles.len(), 7);
+}
+
+#[test]
+fn arena_reuse_is_observably_identical() {
+    // One worker, many jobs with different profiles (different memory
+    // configurations): every job through the recycled arena must match a
+    // fresh single-shot run exactly.
+    let sources = [OK_PROGRAM, UB_PROGRAM, OK_PROGRAM];
+    let mut jobs = Vec::new();
+    for (i, s) in sources.iter().enumerate() {
+        let mut profs = Profile::all_compared();
+        profs.push(Profile::iso_baseline());
+        jobs.push(job(&format!("a{i}"), s, profs, Mode::Run));
+    }
+    let out = run_batch::<MorelloCap>(jobs, 1);
+    for (o, src) in out.iter().zip(sources.iter()) {
+        for po in &o.profiles {
+            let p = crate::job::profile_by_name(&po.profile).unwrap();
+            let fresh = cheri_core::run_with::<MorelloCap>(src, &p);
+            assert_eq!(po.outcome, fresh.outcome.label(), "{}/{}", o.id, po.profile);
+            assert_eq!(po.stdout, fresh.stdout);
+            assert_eq!(
+                po.stats,
+                crate::job::stats_line(&fresh.mem_stats, fresh.unspecified_reads)
+            );
+        }
+    }
+}

@@ -7,4 +7,5 @@ pub use cheri_core as core;
 pub use cheri_lint as lint;
 pub use cheri_mem as mem;
 pub use cheri_obs as obs;
+pub use cheri_serve as serve;
 pub use cheri_testsuite as testsuite;

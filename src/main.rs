@@ -4,13 +4,15 @@
 #![doc = include_str!("usage.txt")]
 //! ```
 
+use std::io::Write as _;
 use std::process::ExitCode;
 
 use cheri_c::core::{compile_for, run_with_engine, Engine, Interp, Outcome, Profile};
 use cheri_c::lint::{lint_with, LintMode, LintReport};
+use cheri_c::serve::{self, profile_by_name, Service, PROFILE_NAMES};
 use cheri_cap::{Capability, CheriotCap, MorelloCap};
 use cheri_mem::{MemEvent, MemStats, TagClearReason};
-use cheri_obs::{binfmt, render, DiffMode};
+use cheri_obs::{binfmt, render};
 
 /// The `--help` text (also the module documentation above).
 const USAGE: &str = include_str!("usage.txt");
@@ -44,6 +46,76 @@ struct Options {
     lint_format: LintFormat,
     engine: Engine,
     emit_ir: bool,
+    batch: Option<String>,
+    serve: bool,
+    jobs: Option<usize>,
+}
+
+/// Every flag the CLI accepts, for "did you mean" suggestions.
+const KNOWN_FLAGS: &[&str] = &[
+    "--profile",
+    "-p",
+    "--arch",
+    "--all",
+    "--trace",
+    "--trace-format",
+    "--trace-out",
+    "--trace-diff",
+    "--lint",
+    "--lint-format",
+    "--engine",
+    "--emit-ir",
+    "--stats",
+    "--list-profiles",
+    "--batch",
+    "--serve",
+    "--jobs",
+    "-j",
+    "--help",
+    "-h",
+];
+
+/// Levenshtein edit distance, for near-miss flag suggestions.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The closest known flag, if it is close enough to be a plausible typo.
+fn suggest_flag(unknown: &str) -> Option<&'static str> {
+    KNOWN_FLAGS
+        .iter()
+        .map(|&f| (edit_distance(unknown, f), f))
+        .min()
+        .filter(|&(d, _)| d <= 3)
+        .map(|(_, f)| f)
+}
+
+/// Parse a `--jobs` value: a positive count, or `max` for every core.
+fn parse_jobs(v: &str) -> Result<usize, String> {
+    if v == "max" {
+        return Ok(default_jobs());
+    }
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("--jobs needs a positive count or max, got {v}")),
+    }
+}
+
+/// The default worker count: one per available core.
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -62,6 +134,9 @@ fn parse_args() -> Result<Options, String> {
         lint_format: LintFormat::Text,
         engine: Engine::default(),
         emit_ir: false,
+        batch: None,
+        serve: false,
+        jobs: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -118,6 +193,14 @@ fn parse_args() -> Result<Options, String> {
                 };
             }
             "--emit-ir" => o.emit_ir = true,
+            "--batch" => {
+                o.batch = Some(args.next().ok_or("--batch needs a manifest file")?);
+            }
+            "--serve" => o.serve = true,
+            "--jobs" | "-j" => {
+                let v = args.next().ok_or("--jobs needs a value (a count, or max)")?;
+                o.jobs = Some(parse_jobs(&v)?);
+            }
             "--stats" => o.stats = true,
             "--list-profiles" => o.list = true,
             "--help" | "-h" => {
@@ -125,7 +208,12 @@ fn parse_args() -> Result<Options, String> {
                 std::process::exit(0);
             }
             f if !f.starts_with('-') => o.file = Some(f.to_string()),
-            other => return Err(format!("unknown option {other} (try --help)")),
+            other => {
+                return Err(match suggest_flag(other) {
+                    Some(s) => format!("unknown option {other} (did you mean {s}? try --help)"),
+                    None => format!("unknown option {other} (try --help)"),
+                })
+            }
         }
     }
     if o.trace_format == TraceFormat::Bin && o.trace_out.is_none() {
@@ -135,37 +223,16 @@ fn parse_args() -> Result<Options, String> {
     if o.trace_diff && !o.all {
         return Err("--trace-diff needs --all (it compares profiles)".to_string());
     }
+    if o.serve && o.batch.is_some() {
+        return Err("--serve and --batch are mutually exclusive".to_string());
+    }
+    if (o.serve || o.batch.is_some()) && o.file.is_some() {
+        return Err(
+            "--serve/--batch name their programs per job line, not as an argument".to_string(),
+        );
+    }
     Ok(o)
 }
-
-fn profile_by_name(name: &str) -> Option<Profile> {
-    Some(match name {
-        "cerberus" => Profile::cerberus(),
-        "iso-baseline" => Profile::iso_baseline(),
-        "cheriot" => Profile::cheriot(),
-        "clang-morello-O0" => Profile::clang_morello(false),
-        "clang-morello-O3" => Profile::clang_morello(true),
-        "clang-riscv-O0" => Profile::clang_riscv(false),
-        "clang-riscv-O3" => Profile::clang_riscv(true),
-        "gcc-morello-O0" => Profile::gcc_morello(false),
-        "gcc-morello-O3" => Profile::gcc_morello(true),
-        "clang-morello-O0-subobject-safe" => Profile::clang_morello_subobject_safe(),
-        _ => return None,
-    })
-}
-
-const PROFILES: &[&str] = &[
-    "cerberus",
-    "iso-baseline",
-    "cheriot",
-    "clang-morello-O0",
-    "clang-morello-O3",
-    "clang-riscv-O0",
-    "clang-riscv-O3",
-    "gcc-morello-O0",
-    "gcc-morello-O3",
-    "clang-morello-O0-subobject-safe",
-];
 
 /// Print the memory trace to stderr in the selected format. The `text`
 /// format (and its event count) is byte-identical to the historical
@@ -256,21 +323,75 @@ fn exec<C: Capability>(
     }
 }
 
-/// Report the first divergence of each profile's event stream against the
-/// reference (first) profile's, in allocation-relative coordinates.
-fn report_trace_diffs(runs: &[(String, Vec<MemEvent>)]) {
-    let Some((ref_name, ref_events)) = runs.first() else {
-        return;
-    };
-    println!("── trace diff (reference: {ref_name}, normalized addresses) ──");
-    for (name, events) in &runs[1..] {
-        match cheri_obs::diff(ref_events, events, DiffMode::Normalized, 3) {
-            None => println!("{name}: no divergence ({} events)", events.len()),
-            Some(d) => {
-                println!("{name}: diverges from {ref_name}:");
-                print!("{}", cheri_obs::render_diff(&d));
+/// Run the batch (`--batch <manifest>`) and serve (`--serve`, jobs on
+/// stdin) front ends over a [`Service`] worker pool. Outputs stream in
+/// submission order; the exit code is 1 if any job hit a front-end or
+/// internal error (UB/trap outcomes are *results*, not errors), else 0.
+fn run_service_mode<C: Capability + Send + 'static>(opts: &Options) -> ExitCode {
+    let workers = opts.jobs.unwrap_or_else(default_jobs);
+    let mut svc = Service::<C>::new(workers);
+    let mut errors = false;
+    if let Some(manifest) = &opts.batch {
+        let jobs = match serve::load_manifest(manifest) {
+            Ok(jobs) => jobs,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        for out in svc.run_batch(jobs) {
+            errors |= out.has_error();
+            print!("{}", out.render());
+        }
+    } else {
+        let stdin = std::io::stdin();
+        let mut lineno = 0u64;
+        for line in std::io::BufRead::lines(stdin.lock()) {
+            let line = match line {
+                Ok(line) => line,
+                Err(e) => {
+                    eprintln!("error: stdin: {e}");
+                    errors = true;
+                    break;
+                }
+            };
+            lineno += 1;
+            match serve::parse_job_line(&line, &lineno.to_string(), None) {
+                Ok(Some(job)) => {
+                    svc.submit(job);
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    eprintln!("error: stdin:{lineno}: {e}");
+                    errors = true;
+                }
+            }
+            // Stream whatever is ready, in submission order.
+            while let Some(out) = svc.try_next_output() {
+                errors |= out.has_error();
+                print!("{}", out.render());
+                let _ = std::io::stdout().flush();
             }
         }
+        while let Some(out) = svc.next_output() {
+            errors |= out.has_error();
+            print!("{}", out.render());
+            let _ = std::io::stdout().flush();
+        }
+    }
+    if opts.stats {
+        eprintln!(
+            "(service: {} workers; cache: {} programs, {} hits, {} misses)",
+            workers,
+            svc.cache().len(),
+            svc.cache().hits(),
+            svc.cache().misses(),
+        );
+    }
+    if errors {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -353,10 +474,16 @@ fn main() -> ExitCode {
         }
     };
     if opts.list {
-        for p in PROFILES {
+        for p in PROFILE_NAMES {
             println!("{p}");
         }
         return ExitCode::SUCCESS;
+    }
+    if opts.serve || opts.batch.is_some() {
+        return match opts.arch.as_str() {
+            "cheriot" => run_service_mode::<CheriotCap>(&opts),
+            _ => run_service_mode::<MorelloCap>(&opts),
+        };
     }
     let Some(file) = &opts.file else {
         eprintln!("error: no input file (try --help)");
@@ -416,7 +543,7 @@ fn main() -> ExitCode {
         }
     }
     if opts.trace_diff {
-        report_trace_diffs(&runs);
+        print!("{}", cheri_obs::render_profile_diffs(&runs));
     }
     match last {
         Outcome::Exit(c) => ExitCode::from((c & 0xFF) as u8),

@@ -1,0 +1,123 @@
+//! Satellite regression gate: the `cheri-serve` batch engine is
+//! deterministic in its worker count and faithful to the sequential
+//! runner (PR 9).
+//!
+//! Three properties over the oracle-fuzz corpus:
+//!
+//! 1. the same batch at `--jobs 1` and `--jobs N` yields *byte-identical*
+//!    rendered outputs (outcome, stdout, stderr, memory statistics, event
+//!    counts, trace-diff reports — everything the front end prints);
+//! 2. the same batch twice at `--jobs N` is also byte-identical (no
+//!    hidden state survives a batch; the shared cache is invisible);
+//! 3. every per-profile result equals a fresh single-shot
+//!    `cheri_core::run_with` of the same (program, profile) — the service
+//!    (cache + arena reuse + worker pool) is an optimisation, never a
+//!    semantics change.
+//!
+//! `CHERI_QC_CORPUS_SEEDS` scales the corpus (default 24 here; the CI
+//! concurrency job drives 1024 through the `--batch` CLI front end);
+//! `CHERI_SERVE_TEST_JOBS` sets N (a count, or `max`; default 4).
+
+use std::sync::Arc;
+
+use cheri_bench::progen::generate_traced;
+use cheri_c::core::{run_with, Profile};
+use cheri_c::serve::{run_batch, JobSpec, Mode};
+use cheri_cap::MorelloCap;
+
+fn corpus_len() -> u64 {
+    std::env::var("CHERI_QC_CORPUS_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24)
+}
+
+fn test_jobs() -> usize {
+    match std::env::var("CHERI_SERVE_TEST_JOBS").as_deref() {
+        Ok("max") => std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
+        Ok(v) => v.parse().ok().filter(|&n| n >= 1).unwrap_or(4),
+        Err(_) => 4,
+    }
+}
+
+/// The corpus as a batch: every seed twice (clean and planted-bug), mode
+/// cycling run / trace-diff / lint so all three result shapes are pinned.
+fn corpus_jobs() -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    for seed in 0..corpus_len() {
+        for buggy in [false, true] {
+            let src = Arc::new(generate_traced(seed, buggy).source());
+            let mode = match seed % 3 {
+                0 => Mode::TraceDiff,
+                1 => Mode::Lint,
+                _ => Mode::Run,
+            };
+            jobs.push(JobSpec {
+                id: format!("seed-{seed}-{}", if buggy { "buggy" } else { "clean" }),
+                source: src,
+                profiles: Profile::all_compared(),
+                mode,
+            });
+        }
+    }
+    jobs
+}
+
+fn renders(jobs: Vec<JobSpec>, workers: usize) -> Vec<String> {
+    run_batch::<MorelloCap>(jobs, workers)
+        .iter()
+        .map(cheri_c::serve::JobOutput::render)
+        .collect()
+}
+
+#[test]
+fn batch_is_deterministic_across_worker_counts() {
+    let n = test_jobs();
+    let sequential = renders(corpus_jobs(), 1);
+    let parallel = renders(corpus_jobs(), n);
+    let parallel_again = renders(corpus_jobs(), n);
+    assert_eq!(
+        sequential.len(),
+        parallel.len(),
+        "same batch must yield the same job count"
+    );
+    for (i, (a, b)) in sequential.iter().zip(&parallel).enumerate() {
+        assert_eq!(a, b, "job {i}: --jobs 1 vs --jobs {n} diverged");
+    }
+    assert_eq!(
+        parallel, parallel_again,
+        "two --jobs {n} runs of the same batch diverged"
+    );
+}
+
+#[test]
+fn batch_results_match_the_sequential_runner() {
+    let jobs: Vec<JobSpec> = corpus_jobs()
+        .into_iter()
+        .filter(|j| j.mode == Mode::Run)
+        .collect();
+    let specs = jobs.clone();
+    let outs = run_batch::<MorelloCap>(jobs, test_jobs());
+    for (spec, out) in specs.iter().zip(&outs) {
+        assert_eq!(spec.id, out.id);
+        for (profile, po) in spec.profiles.iter().zip(&out.profiles) {
+            let fresh = run_with::<MorelloCap>(&spec.source, profile);
+            assert_eq!(
+                po.outcome,
+                fresh.outcome.label(),
+                "{}/{}: batch outcome differs from sequential run",
+                spec.id,
+                profile.name
+            );
+            assert_eq!(po.stdout, fresh.stdout, "{}/{}", spec.id, profile.name);
+            assert_eq!(po.stderr, fresh.stderr, "{}/{}", spec.id, profile.name);
+            assert_eq!(
+                po.stats,
+                cheri_c::serve::job::stats_line(&fresh.mem_stats, fresh.unspecified_reads),
+                "{}/{}: memory statistics differ",
+                spec.id,
+                profile.name
+            );
+        }
+    }
+}
