@@ -344,7 +344,9 @@ impl<'p, C: Capability> Interp<'p, C> {
             Engine::Bytecode => {
                 let ir = match self.ir_cache.take() {
                     Some(ir) => ir,
-                    None => std::sync::Arc::new(crate::ir::lower_opt(self.prog)),
+                    None => {
+                        std::sync::Arc::new(crate::ir::lower_for(self.prog, &self.profile.opt))
+                    }
                 };
                 let code = crate::ir::vm::execute(self, ir.as_ref());
                 self.ir_cache = Some(ir);

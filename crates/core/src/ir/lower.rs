@@ -145,6 +145,7 @@ fn lower_func(
         n_regs: fl.max_reg,
         code,
         block_pc,
+        promoted: Vec::new(),
     }
 }
 

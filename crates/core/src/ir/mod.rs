@@ -28,8 +28,10 @@
 //! * frame teardown kills locals in reverse allocation order, innermost
 //!   frame first, even when unwinding an error.
 
+pub mod escape;
 pub mod lower;
 pub mod peephole;
+pub mod promote;
 pub mod vm;
 
 use std::collections::HashMap;
@@ -49,6 +51,29 @@ pub fn lower_opt(prog: &crate::tast::TProgram) -> IrProgram {
     let mut ir = lower(prog);
     peephole::optimize(&mut ir);
     ir
+}
+
+/// The fast-mode pipeline (DESIGN.md §12): lower, register-promote
+/// never-addressed scalar locals ([`promote`]), then peephole-optimise.
+/// Only selected when [`crate::OptFlags::register_promote`] is set.
+#[must_use]
+pub fn lower_fast(prog: &crate::tast::TProgram) -> IrProgram {
+    let mut ir = lower(prog);
+    promote::promote(&mut ir);
+    peephole::optimize(&mut ir);
+    ir
+}
+
+/// Select the lowering pipeline for an optimisation-flag set: the fast
+/// (register-promoting) pipeline when `opt.register_promote` is set, the
+/// default trace-preserving pipeline otherwise.
+#[must_use]
+pub fn lower_for(prog: &crate::tast::TProgram, opt: &crate::profile::OptFlags) -> IrProgram {
+    if opt.register_promote {
+        lower_fast(prog)
+    } else {
+        lower_opt(prog)
+    }
 }
 
 /// A virtual register index (frame-local, dense from 0).
@@ -170,6 +195,36 @@ pub enum Inst {
     /// `p += i` / `p -= i` finisher: `cur` holds the loaded pointer.
     PtrAssignAdd { dst: Reg, loc: Reg, ty: TyId, cur: Reg, idx: Reg, elem: u64, neg: bool },
 
+    // ── Register-promoted finishers (fast mode, DESIGN.md §12) ──────────
+    // Emitted only by `promote`: the same semantics as the memory forms
+    // above minus the load/store against `CheriMemory`; `reg` is the
+    // register that *is* the promoted local (both read and written).
+    /// `++`/`--` on a register-promoted local.
+    RegIncDec { dst: Reg, reg: Reg, inc: bool, prefix: bool, elem: u64 },
+    /// Integer `lv op= rhs` on a register-promoted local.
+    RegAssignOpInt {
+        dst: Reg,
+        reg: Reg,
+        lt: IntTy,
+        ct: IntTy,
+        op: BinOp,
+        derive: DeriveFrom,
+        cur: Reg,
+        rhs: Reg,
+    },
+    /// Float-common `lv op= rhs` on a register-promoted local.
+    RegAssignOpFloat {
+        dst: Reg,
+        reg: Reg,
+        ty: TyId,
+        common: FloatTy,
+        op: BinOp,
+        cur: Reg,
+        rhs: Reg,
+    },
+    /// `p += i` / `p -= i` on a register-promoted pointer local.
+    RegPtrAssignAdd { dst: Reg, reg: Reg, ty: TyId, cur: Reg, idx: Reg, elem: u64, neg: bool },
+
     // ── Casts ───────────────────────────────────────────────────────────
     /// Integer conversion.
     IntToInt { dst: Reg, src: Reg, to: IntTy },
@@ -267,6 +322,11 @@ pub struct IrFunc {
     pub code: Vec<Inst>,
     /// Starting offset of each basic block (ascending; for rendering).
     pub block_pc: Vec<u32>,
+    /// Fast mode only: `(slot, reg)` pairs for register-promoted locals
+    /// (empty in the default pipeline). The VM consults this to pass
+    /// promoted *parameters* in registers; promoted declarations were
+    /// rewritten in place by [`promote`].
+    pub promoted: Vec<(u32, Reg)>,
 }
 
 /// A whole lowered program with its constant pools.
@@ -326,13 +386,21 @@ impl IrProgram {
                 .iter()
                 .map(|p| format!("slot{}: t{} {:?}", p.slot, p.ty.0, self.strs[p.name.0 as usize]))
                 .collect();
+            let promoted = if f.promoted.is_empty() {
+                String::new()
+            } else {
+                let pairs: Vec<String> =
+                    f.promoted.iter().map(|&(s, r)| format!("slot{s}:r{r}")).collect();
+                format!(" promoted=[{}]", pairs.join(", "))
+            };
             let _ = writeln!(
                 out,
-                "\nfunc f{fi} {}({}) slots={} regs={}{}",
+                "\nfunc f{fi} {}({}) slots={} regs={}{}{}",
                 f.name,
                 params.join(", "),
                 f.n_slots,
                 f.n_regs,
+                promoted,
                 if f.is_main { " [main]" } else { "" },
             );
             // Map pc → block label for jump rendering.
@@ -421,6 +489,23 @@ impl IrProgram {
             ),
             Inst::PtrAssignAdd { dst, loc, ty, cur, idx, elem, neg } => format!(
                 "r{dst} = ptrassign.t{} [r{loc}] cur=r{cur} {} r{idx} * {elem}",
+                ty.0,
+                if *neg { "-" } else { "+" },
+            ),
+            Inst::RegIncDec { dst, reg, inc, prefix, elem } => format!(
+                "r{dst} = {}{}.reg r{reg} elem={elem}",
+                if *prefix { "pre" } else { "post" },
+                if *inc { "inc" } else { "dec" },
+            ),
+            Inst::RegAssignOpInt { dst, reg, lt, ct, op, derive, cur, rhs } => format!(
+                "r{dst} = assignop.{op:?} reg=r{reg} cur=r{cur} rhs=r{rhs} {lt}->{ct} ({derive:?})",
+            ),
+            Inst::RegAssignOpFloat { dst, reg, ty, common, op, cur, rhs } => format!(
+                "r{dst} = assignop.{op:?} reg=r{reg}:t{} cur=r{cur} rhs=r{rhs} common={common}",
+                ty.0,
+            ),
+            Inst::RegPtrAssignAdd { dst, reg, ty, cur, idx, elem, neg } => format!(
+                "r{dst} = ptrassign.t{} reg=r{reg} cur=r{cur} {} r{idx} * {elem}",
                 ty.0,
                 if *neg { "-" } else { "+" },
             ),

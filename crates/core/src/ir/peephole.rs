@@ -58,8 +58,12 @@ pub fn optimize(ir: &mut IrProgram) {
 
 // ── Register use/def and the instruction-level CFG ──────────────────────
 
-/// Visit every register an instruction *reads*.
-fn for_each_use(inst: &Inst, mut f: impl FnMut(Reg)) {
+/// Visit every register an instruction *reads*. For the register-promoted
+/// finishers the promoted register itself is visited as a use even where
+/// the finisher only writes it: the register is the local's storage, and
+/// keeping it live is the conservative (sound) direction for every
+/// consumer of this function.
+pub(crate) fn for_each_use(inst: &Inst, mut f: impl FnMut(Reg)) {
     match inst {
         Inst::ConstInt { .. }
         | Inst::ConstFloat { .. }
@@ -131,6 +135,18 @@ fn for_each_use(inst: &Inst, mut f: impl FnMut(Reg)) {
             f(*cur);
             f(*idx);
         }
+        Inst::RegIncDec { reg, .. } => f(*reg),
+        Inst::RegAssignOpInt { reg, cur, rhs, .. }
+        | Inst::RegAssignOpFloat { reg, cur, rhs, .. } => {
+            f(*reg);
+            f(*cur);
+            f(*rhs);
+        }
+        Inst::RegPtrAssignAdd { reg, cur, idx, .. } => {
+            f(*reg);
+            f(*cur);
+            f(*idx);
+        }
         Inst::CallDirect { args, .. } => {
             for &r in args {
                 f(r);
@@ -150,8 +166,11 @@ fn for_each_use(inst: &Inst, mut f: impl FnMut(Reg)) {
     }
 }
 
-/// The register an instruction *writes*, if any.
-fn def_of(inst: &Inst) -> Option<Reg> {
+/// The register an instruction *writes*, if any. The register-promoted
+/// finishers write two registers (`dst` and the promoted `reg`); only
+/// `dst` is reported — a missing kill merely over-approximates liveness,
+/// which is sound for fusion and dead-code decisions.
+pub(crate) fn def_of(inst: &Inst) -> Option<Reg> {
     match inst {
         Inst::ConstInt { dst, .. }
         | Inst::ConstFloat { dst, .. }
@@ -187,7 +206,11 @@ fn def_of(inst: &Inst) -> Option<Reg> {
         | Inst::CallIndirect { dst, .. }
         | Inst::CallBuiltin { dst, .. }
         | Inst::AllocLocal { dst, .. }
-        | Inst::FreezeLoc { dst, .. } => Some(*dst),
+        | Inst::FreezeLoc { dst, .. }
+        | Inst::RegIncDec { dst, .. }
+        | Inst::RegAssignOpInt { dst, .. }
+        | Inst::RegAssignOpFloat { dst, .. }
+        | Inst::RegPtrAssignAdd { dst, .. } => Some(*dst),
         Inst::Store { .. }
         | Inst::MemcpyAgg { .. }
         | Inst::OptMemcpy { .. }
@@ -207,7 +230,7 @@ fn def_of(inst: &Inst) -> Option<Reg> {
 /// Successor pcs of the instruction at `pc`. Error exits are not edges:
 /// no register value is observable past an error (the unwinder only runs
 /// kills), so liveness may ignore them.
-fn successors(code: &[Inst], pc: usize, mut f: impl FnMut(usize)) {
+pub(crate) fn successors(code: &[Inst], pc: usize, mut f: impl FnMut(usize)) {
     match &code[pc] {
         Inst::Jump { target } => f(*target as usize),
         Inst::JumpIfFalse { target, .. } | Inst::JumpIfTrue { target, .. } => {
@@ -233,7 +256,7 @@ fn successors(code: &[Inst], pc: usize, mut f: impl FnMut(usize)) {
 /// is the set of registers whose current value may still be read on some
 /// path out of `pc` — the condition under which a def at `pc` (or an
 /// intermediate of a fused pair ending at `pc`) is unobservable.
-struct Liveness {
+pub(crate) struct Liveness {
     words: usize,
     /// `live_in` per pc, backward-fixpoint result.
     live_in: Vec<u64>,
@@ -241,7 +264,7 @@ struct Liveness {
 }
 
 impl Liveness {
-    fn compute(func: &IrFunc) -> Liveness {
+    pub(crate) fn compute(func: &IrFunc) -> Liveness {
         let n = func.code.len();
         let words = (func.n_regs as usize).div_ceil(64).max(1);
         let mut lv = Liveness { words, live_in: vec![0u64; n * words], n };
@@ -275,8 +298,13 @@ impl Liveness {
         lv
     }
 
+    /// Is `r`'s value possibly read on some path *from* `pc` (inclusive)?
+    pub(crate) fn is_live_in(&self, pc: usize, r: Reg) -> bool {
+        self.live_in[pc * self.words + r as usize / 64] >> (r % 64) & 1 != 0
+    }
+
     /// Is `r`'s value possibly read on some path *out of* `pc`?
-    fn live_after(&self, func: &IrFunc, pc: usize, r: Reg) -> bool {
+    pub(crate) fn live_after(&self, func: &IrFunc, pc: usize, r: Reg) -> bool {
         let mut live = false;
         successors(&func.code, pc, |s| {
             if s < self.n {
@@ -570,7 +598,7 @@ fn delete_dead(func: &mut IrFunc) -> bool {
 /// and the block table. A deleted instruction always behaves as a
 /// fall-through (that is what made it deletable), so a target pointing at
 /// one maps to the next surviving pc.
-fn compact(func: &mut IrFunc, keep: &[bool]) -> bool {
+pub(crate) fn compact(func: &mut IrFunc, keep: &[bool]) -> bool {
     if keep.iter().all(|&k| k) {
         return false;
     }
@@ -629,6 +657,7 @@ mod tests {
                 n_regs,
                 code,
                 block_pc,
+                promoted: Vec::new(),
             }],
             func_index: std::iter::once(("main".to_string(), 0)).collect(),
             types: vec![Ty::Int(IntTy::Int)],

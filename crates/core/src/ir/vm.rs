@@ -101,6 +101,15 @@ fn push_frame<C: Capability>(
         .regs
         .resize_with(func.n_regs as usize, || RVal::Val(Value::Void));
     for (p, v) in func.params.iter().zip(args) {
+        // Fast mode (DESIGN.md §12): a register-promoted parameter is
+        // passed straight into its register — no object, no store, no
+        // kill-list entry. The escape analysis proved no address of it is
+        // ever taken, so nothing can observe the missing allocation
+        // besides the (out-of-contract) event trace and statistics.
+        if let Some(&(_, r)) = func.promoted.iter().find(|&&(s, _)| s == p.slot) {
+            frame.regs[r as usize] = RVal::Val(v);
+            continue;
+        }
         let ty = &ir.types[p.ty.0 as usize];
         let obj = it
             .mem
@@ -523,6 +532,117 @@ fn dispatch<C: Capability>(
                 let ty = &ir.types[ty.0 as usize];
                 let out = Value::Ptr { ty: ty.clone(), v: q };
                 it.store_value(&p, ty, &out)?;
+                frame.regs[*dst as usize] = RVal::Val(out);
+            }
+
+            // ── Register-promoted finishers (fast mode) ─────────────────
+            // Byte-for-byte the semantics of the memory forms above with
+            // the load/store replaced by reads/writes of the promoted
+            // register: every UB check, conversion and capability
+            // derivation is the same `Interp` helper at the same point.
+            Inst::RegIncDec { dst, reg, inc, prefix, elem } => {
+                let old = val(frame, *reg)?.clone();
+                let new = match (&old, *elem) {
+                    (Value::Ptr { ty: pty, v }, elem) if elem > 0 => {
+                        let q = it.mem.array_shift(v, elem, if *inc { 1 } else { -1 })?;
+                        Value::Ptr { ty: pty.clone(), v: q }
+                    }
+                    (Value::Int { ity, v }, _) => {
+                        let delta = if *inc { 1 } else { -1 };
+                        let raw = v.value() + delta;
+                        if ity.signed() && !ity.is_capability() && !ity.fits(raw) {
+                            return Err(it.ub(Ub::SignedOverflow, "increment overflow"));
+                        }
+                        let nv = if ity.is_capability() {
+                            it.derive_cap_result(v, *ity, raw)
+                        } else {
+                            IntVal::Num(ity.wrap(raw))
+                        };
+                        Value::Int { ity: *ity, v: nv }
+                    }
+                    _ => return Err(Stop::Unsupported("increment target".into())),
+                };
+                frame.regs[*reg as usize] = RVal::Val(new.clone());
+                frame.regs[*dst as usize] = RVal::Val(if *prefix { new } else { old });
+            }
+            Inst::RegAssignOpInt { dst, reg, lt, ct, op, derive, cur, rhs } => {
+                let curv = val(frame, *cur)?
+                    .as_int()
+                    .cloned()
+                    .ok_or_else(|| Stop::Unsupported("compound assignment load".into()))?;
+                let cur_c = it.convert_int(&curv, *lt, *ct);
+                let r = val(frame, *rhs)?
+                    .as_int()
+                    .cloned()
+                    .ok_or_else(|| Stop::Unsupported("compound assignment rhs".into()))?;
+                let res = it.binary_int(
+                    *op,
+                    &Value::Int { ity: *ct, v: cur_c },
+                    &Value::Int { ity: *ct, v: r },
+                    *ct,
+                    *derive,
+                )?;
+                let res_v = match &res {
+                    Value::Int { v, .. } => it.convert_int(v, *ct, *lt),
+                    _ => {
+                        return Err(Stop::Unsupported("compound assignment result".into()))
+                    }
+                };
+                let out = Value::Int { ity: *lt, v: res_v };
+                frame.regs[*reg as usize] = RVal::Val(out.clone());
+                frame.regs[*dst as usize] = RVal::Val(out);
+            }
+            Inst::RegAssignOpFloat { dst, reg, ty, common, op, cur, rhs } => {
+                let cur_f = match val(frame, *cur)? {
+                    Value::Float { v, .. } => *v,
+                    Value::Int { v, .. } => v.value() as f64,
+                    _ => return Err(Stop::Unsupported("compound float target".into())),
+                };
+                let rv = val(frame, *rhs)?.clone();
+                let res = it.binary_float(
+                    *op,
+                    &Value::Float { fty: *common, v: cur_f },
+                    &rv,
+                    &Ty::Float(*common),
+                )?;
+                let res_f = res.as_float().expect("float result");
+                let ty = &ir.types[ty.0 as usize];
+                let out = match ty {
+                    Ty::Float(fty) => Value::Float {
+                        fty: *fty,
+                        v: if *fty == FloatTy::F32 {
+                            f64::from(res_f as f32)
+                        } else {
+                            res_f
+                        },
+                    },
+                    Ty::Int(ity) => {
+                        let t = res_f.trunc();
+                        if !t.is_finite() || t < ity.min() as f64 || t > ity.max() as f64 {
+                            return Err(it.ub(Ub::SignedOverflow, "float-to-int out of range"));
+                        }
+                        Value::Int { ity: *ity, v: it.mk_int(*ity, t as i128) }
+                    }
+                    t => return Err(Stop::Unsupported(format!("compound target {t}"))),
+                };
+                frame.regs[*reg as usize] = RVal::Val(out.clone());
+                frame.regs[*dst as usize] = RVal::Val(out);
+            }
+            Inst::RegPtrAssignAdd { dst, reg, ty, cur, idx, elem, neg } => {
+                let curp = match val(frame, *cur)? {
+                    Value::Ptr { v, .. } => v.clone(),
+                    _ => {
+                        return Err(Stop::Unsupported("pointer compound assignment".into()))
+                    }
+                };
+                let mut i = val(frame, *idx)?.as_int().map(IntVal::value).unwrap_or(0);
+                if *neg {
+                    i = -i;
+                }
+                let q = it.mem.array_shift(&curp, *elem, i as i64)?;
+                let ty = &ir.types[ty.0 as usize];
+                let out = Value::Ptr { ty: ty.clone(), v: q };
+                frame.regs[*reg as usize] = RVal::Val(out.clone());
                 frame.regs[*dst as usize] = RVal::Val(out);
             }
 

@@ -35,6 +35,15 @@ pub struct OptFlags {
     /// §3.5: byte-copy loops are recognised and turned into `memcpy`, which
     /// preserves capability tags. Emulated by an IR pattern-match pass.
     pub loops_to_memcpy: bool,
+    /// The *non-oracle* fast mode (ROADMAP item 1 track (b)): escape-analyse
+    /// the lowered IR and register-promote provably never-addressed scalar
+    /// locals, eliding their allocations entirely (DESIGN.md §12). Off by
+    /// default and deliberately **not** part of [`OptFlags::o3`]: `o3` models
+    /// *observable* compiler effects the paper discusses, while promotion is
+    /// validated to be outcome/stdout-invariant (the event trace is out of
+    /// contract). Enabled by the CLI `--fast` flag or a `@fast` profile
+    /// suffix in batch manifests.
+    pub register_promote: bool,
 }
 
 impl OptFlags {
@@ -52,7 +61,15 @@ impl OptFlags {
             elide_identity_writes: true,
             fold_transient_arith: true,
             loops_to_memcpy: true,
+            register_promote: false,
         }
+    }
+
+    /// This flag set with the fast-mode register-promotion bit set.
+    #[must_use]
+    pub fn fast(mut self) -> Self {
+        self.register_promote = true;
+        self
     }
 }
 
@@ -208,5 +225,15 @@ mod tests {
     #[test]
     fn all_compared_has_seven_configs() {
         assert_eq!(Profile::all_compared().len(), 7);
+    }
+
+    #[test]
+    fn fast_mode_is_off_by_default() {
+        assert!(!OptFlags::o0().register_promote);
+        assert!(!OptFlags::o3().register_promote);
+        assert!(OptFlags::o0().fast().register_promote);
+        for p in Profile::all_compared() {
+            assert!(!p.opt.register_promote, "{} must default to the full model", p.name);
+        }
     }
 }

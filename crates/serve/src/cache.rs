@@ -45,6 +45,7 @@ fn opt_fingerprint(o: &OptFlags) -> u64 {
         | (u64::from(o.elide_identity_writes) << 8)
         | (u64::from(o.fold_transient_arith) << 9)
         | (u64::from(o.loops_to_memcpy) << 10)
+        | (u64::from(o.register_promote) << 11)
 }
 
 /// What makes two (source, profile, capability-model) compilations share
@@ -89,7 +90,8 @@ impl CompileKey {
 pub struct CachedProgram {
     /// The typed, profile-optimised AST.
     pub tast: TProgram,
-    /// The lowered + peephole-optimised IR (`cheri_core::ir::lower_opt`),
+    /// The lowered + peephole-optimised IR (`cheri_core::ir::lower_for`,
+    /// register-promoted first when the profile carries the fast bit),
     /// pre-wrapped in an [`Arc`] for `Interp::with_ir`.
     pub ir: Arc<IrProgram>,
 }
@@ -138,7 +140,7 @@ impl ProgramCache {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let compiled: CacheEntry = cheri_core::compile_for::<C>(src, profile).map(|tast| {
-            let ir = Arc::new(cheri_core::ir::lower_opt(&tast));
+            let ir = Arc::new(cheri_core::ir::lower_for(&tast, &profile.opt));
             Arc::new(CachedProgram { tast, ir })
         });
         // First insert wins; a racing compile of the same key discards its

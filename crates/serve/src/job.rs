@@ -7,10 +7,14 @@
 //! <mode> <profiles> <file.c>
 //! ```
 //!
-//! * `<mode>` — `run`, `lint`, or `trace-diff`;
+//! * `<mode>` — `run`, `lint`, `trace-diff`, `engine-diff` (run both
+//!   engines and flag any divergence), or `lint-check` (run the dynamic
+//!   semantics and flag any lint-soundness violation);
 //! * `<profiles>` — `all` (the compared set plus the ISO baseline, like
 //!   the CLI's `--all`), `compared` (the 7-profile differential set), or
-//!   a comma-separated list of profile names;
+//!   a comma-separated list of profile names; any spec or name may carry
+//!   an `@fast` suffix selecting the register-promoting fast mode (a
+//!   distinct compile-cache key);
 //! * `<file.c>` — the program, resolved relative to the manifest (or to
 //!   the working directory for jobs streamed over `--serve` stdin).
 //!
@@ -40,6 +44,15 @@ pub enum Mode {
     /// divergence of every profile's stream against the first profile's,
     /// in normalized coordinates.
     TraceDiff,
+    /// Execute under each profile on *both* engines (tree and bytecode)
+    /// and compare outcome, output, memory statistics and event streams;
+    /// any mismatch becomes an `engine-divergence: …` outcome (an error,
+    /// so a sharded CI sweep fails the batch).
+    EngineDiff,
+    /// Execute under each profile and check the static analyzer's verdict
+    /// against the dynamic outcome (the lint soundness gate); any
+    /// violation becomes a `lint-unsound: …` outcome.
+    LintCheck,
 }
 
 impl Mode {
@@ -50,6 +63,8 @@ impl Mode {
             Mode::Run => "run",
             Mode::Lint => "lint",
             Mode::TraceDiff => "trace-diff",
+            Mode::EngineDiff => "engine-diff",
+            Mode::LintCheck => "lint-check",
         }
     }
 
@@ -60,6 +75,8 @@ impl Mode {
             "run" => Some(Mode::Run),
             "lint" => Some(Mode::Lint),
             "trace-diff" | "tracediff" => Some(Mode::TraceDiff),
+            "engine-diff" | "enginediff" => Some(Mode::EngineDiff),
+            "lint-check" | "lintcheck" => Some(Mode::LintCheck),
             _ => None,
         }
     }
@@ -141,10 +158,16 @@ pub fn stats_line(s: &MemStats, unspecified_reads: u32) -> String {
 }
 
 impl JobOutput {
-    /// Did any profile end in a front-end or internal error?
+    /// Did any profile end in a front-end or internal error — or fail one
+    /// of the checking modes' gates (`engine-diff`, `lint-check`)? Gate
+    /// failures are errors so a sharded CI sweep fails the whole batch.
     #[must_use]
     pub fn has_error(&self) -> bool {
-        self.profiles.iter().any(|p| p.outcome.starts_with("error"))
+        self.profiles.iter().any(|p| {
+            p.outcome.starts_with("error")
+                || p.outcome.starts_with("engine-divergence")
+                || p.outcome.starts_with("lint-unsound")
+        })
     }
 
     /// The deterministic rendering the batch/serve front ends print: a
@@ -214,28 +237,52 @@ pub fn profile_by_name(name: &str) -> Option<Profile> {
     })
 }
 
+/// Switch a profile into the register-promoting fast mode. The name gains
+/// an `@fast` suffix so outputs (and humans) can tell the two apart; the
+/// opt-flag bit makes it a distinct compile-cache key.
+#[must_use]
+pub fn fast_variant(mut p: Profile) -> Profile {
+    p.opt = p.opt.fast();
+    p.name.push_str("@fast");
+    p
+}
+
 /// Resolve a manifest profile spec: `all`, `compared`, or a
-/// comma-separated name list.
+/// comma-separated name list. The spec — or any individual name — may
+/// carry an `@fast` suffix selecting the fast mode (see [`fast_variant`]).
 ///
 /// # Errors
 ///
 /// Returns a message naming the first unknown profile.
 pub fn profiles_from_spec(spec: &str) -> Result<Vec<Profile>, String> {
-    match spec {
+    let (spec, all_fast) = match spec.strip_suffix("@fast") {
+        Some(base) if base == "all" || base == "compared" => (base, true),
+        _ => (spec, false),
+    };
+    let mut v = match spec {
         "all" => {
             let mut v = Profile::all_compared();
             v.push(Profile::iso_baseline());
-            Ok(v)
+            v
         }
-        "compared" => Ok(Profile::all_compared()),
+        "compared" => Profile::all_compared(),
         list => list
             .split(',')
             .map(|name| {
-                profile_by_name(name)
+                let (base, fast) = match name.strip_suffix("@fast") {
+                    Some(base) => (base, true),
+                    None => (name, false),
+                };
+                profile_by_name(base)
+                    .map(|p| if fast { fast_variant(p) } else { p })
                     .ok_or_else(|| format!("unknown profile {name} (see --list-profiles)"))
             })
-            .collect(),
+            .collect::<Result<Vec<Profile>, String>>()?,
+    };
+    if all_fast {
+        v = v.into_iter().map(fast_variant).collect();
     }
+    Ok(v)
 }
 
 /// Parse one manifest/stdin line into a job, reading the named file
@@ -259,11 +306,13 @@ pub fn parse_job_line(
     let (Some(mode), Some(profiles), Some(file)) = (parts.next(), parts.next(), parts.next())
     else {
         return Err(format!(
-            "malformed job line {line:?} (expected: <run|lint|trace-diff> <profiles> <file.c>)"
+            "malformed job line {line:?} \
+             (expected: <run|lint|trace-diff|engine-diff|lint-check> <profiles> <file.c>)"
         ));
     };
-    let mode = Mode::parse(mode)
-        .ok_or_else(|| format!("unknown mode {mode} (expected run, lint or trace-diff)"))?;
+    let mode = Mode::parse(mode).ok_or_else(|| {
+        format!("unknown mode {mode} (expected run, lint, trace-diff, engine-diff or lint-check)")
+    })?;
     let profiles = profiles_from_spec(profiles)?;
     let file = file.trim();
     let path = match base_dir {

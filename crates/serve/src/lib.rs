@@ -43,8 +43,8 @@ pub mod service;
 
 pub use cache::{CachedProgram, CompileKey, ProgramCache};
 pub use job::{
-    load_manifest, parse_job_line, profile_by_name, profiles_from_spec, JobOutput, JobSpec, Mode,
-    ProfileOutcome, PROFILE_NAMES,
+    fast_variant, load_manifest, parse_job_line, profile_by_name, profiles_from_spec, JobOutput,
+    JobSpec, Mode, ProfileOutcome, PROFILE_NAMES,
 };
 pub use service::{execute_job, run_batch, Service};
 

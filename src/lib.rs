@@ -9,3 +9,49 @@ pub use cheri_mem as mem;
 pub use cheri_obs as obs;
 pub use cheri_serve as serve;
 pub use cheri_testsuite as testsuite;
+
+/// Convert an escape-analysis report into the shared [`cheri_obs`]
+/// diagnostic vocabulary — one diagnostic per local, `note
+/// escape.promoted` for locals the analysis proved never-addressed,
+/// `may escape.kept` (with the why-not reasons) for locals that stay in
+/// memory. This is the rendering behind `cheri-c --emit-escape`; it
+/// lives here so golden tests pin the exact CLI surface.
+#[must_use]
+pub fn escape_diagnostics(
+    report: &cheri_core::ir::escape::EscapeReport,
+) -> Vec<cheri_obs::Diagnostic> {
+    report
+        .funcs
+        .iter()
+        .flat_map(|f| {
+            f.locals.iter().map(|l| {
+                let mut message = format!("{}::{}", f.func, l.name);
+                if l.is_param {
+                    message.push_str(" (param)");
+                }
+                if !l.promoted {
+                    message.push_str(" blocked by ");
+                    let reasons: Vec<&str> = l.reasons.iter().map(|r| r.label()).collect();
+                    message.push_str(&reasons.join(", "));
+                }
+                cheri_obs::Diagnostic {
+                    severity: if l.promoted {
+                        cheri_obs::DiagSeverity::Note
+                    } else {
+                        cheri_obs::DiagSeverity::May
+                    },
+                    class: if l.promoted {
+                        "escape.promoted".into()
+                    } else {
+                        "escape.kept".into()
+                    },
+                    anchor: String::new(),
+                    line: 0,
+                    col: 0,
+                    message,
+                    count: 1,
+                }
+            })
+        })
+        .collect()
+}

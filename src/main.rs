@@ -46,6 +46,9 @@ struct Options {
     lint_format: LintFormat,
     engine: Engine,
     emit_ir: bool,
+    emit_escape: bool,
+    escape_format: LintFormat,
+    fast: bool,
     batch: Option<String>,
     serve: bool,
     jobs: Option<usize>,
@@ -65,6 +68,9 @@ const KNOWN_FLAGS: &[&str] = &[
     "--lint-format",
     "--engine",
     "--emit-ir",
+    "--emit-escape",
+    "--escape-format",
+    "--fast",
     "--stats",
     "--list-profiles",
     "--batch",
@@ -134,6 +140,9 @@ fn parse_args() -> Result<Options, String> {
         lint_format: LintFormat::Text,
         engine: Engine::default(),
         emit_ir: false,
+        emit_escape: false,
+        escape_format: LintFormat::Text,
+        fast: false,
         batch: None,
         serve: false,
         jobs: None,
@@ -193,6 +202,21 @@ fn parse_args() -> Result<Options, String> {
                 };
             }
             "--emit-ir" => o.emit_ir = true,
+            "--emit-escape" => o.emit_escape = true,
+            "--escape-format" => {
+                let v = args.next().ok_or("--escape-format needs a value")?;
+                o.escape_format = match v.as_str() {
+                    "text" => LintFormat::Text,
+                    "json" => LintFormat::Json,
+                    other => {
+                        return Err(format!(
+                            "unknown escape format {other} (expected text or json)"
+                        ))
+                    }
+                };
+                o.emit_escape = true;
+            }
+            "--fast" => o.fast = true,
             "--batch" => {
                 o.batch = Some(args.next().ok_or("--batch needs a manifest file")?);
             }
@@ -429,7 +453,9 @@ fn run_lint(src: &str, profiles: &[Profile], opts: &Options) -> ExitCode {
 /// pools, then per-function labelled blocks) with stable formatting, so
 /// lowering changes show up as reviewable diffs (`tests/golden/ir/`).
 /// Prints both stages: the raw lowering, then the peephole-optimised
-/// form the bytecode engine actually executes.
+/// form the bytecode engine actually executes. With `--fast` a third
+/// stage follows: the register-promoted + peephole-optimised form the
+/// fast mode executes (`tests/golden/ir/*.fast.ir`).
 fn emit_ir(src: &str, profile: &Profile, opts: &Options) -> ExitCode {
     let prog = match opts.arch.as_str() {
         "cheriot" => compile_for::<CheriotCap>(src, profile),
@@ -441,6 +467,37 @@ fn emit_ir(src: &str, profile: &Profile, opts: &Options) -> ExitCode {
             print!("{}", cheri_c::core::ir::lower(&p).render());
             println!("\n;; optimized (peephole; executed by --engine bytecode)");
             print!("{}", cheri_c::core::ir::lower_opt(&p).render());
+            if opts.fast {
+                println!("\n;; fast (escape-promoted + peephole; executed with --fast)");
+                print!("{}", cheri_c::core::ir::lower_fast(&p).render());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `--emit-escape`: run the fast mode's escape analysis and print one
+/// diagnostic per local — `note escape.promoted` for locals the analysis
+/// proved never-addressed, `may escape.kept` (with the why-not reasons)
+/// for locals that stay in memory. Rendered through the shared
+/// `cheri-obs` diagnostic vocabulary, text or JSON (`--escape-format`).
+fn emit_escape(src: &str, profile: &Profile, opts: &Options) -> ExitCode {
+    let prog = match opts.arch.as_str() {
+        "cheriot" => compile_for::<CheriotCap>(src, profile),
+        _ => compile_for::<MorelloCap>(src, profile),
+    };
+    match prog {
+        Ok(p) => {
+            let report = cheri_c::core::ir::escape::analyze_program(&cheri_c::core::ir::lower(&p));
+            let diags = cheri_c::escape_diagnostics(&report);
+            match opts.escape_format {
+                LintFormat::Text => print!("{}", cheri_obs::render_diagnostics_text(&diags)),
+                LintFormat::Json => print!("{}", cheri_obs::render_diagnostics_json(&diags)),
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -496,7 +553,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let profiles: Vec<Profile> = if opts.all {
+    let mut profiles: Vec<Profile> = if opts.all {
         let mut v = Profile::all_compared();
         v.push(Profile::iso_baseline());
         v
@@ -512,11 +569,19 @@ fn main() -> ExitCode {
             }
         }
     };
+    if opts.fast {
+        for p in &mut profiles {
+            p.opt = p.opt.fast();
+        }
+    }
     if opts.lint {
         return run_lint(&src, &profiles, &opts);
     }
     if opts.emit_ir {
         return emit_ir(&src, &profiles[0], &opts);
+    }
+    if opts.emit_escape {
+        return emit_escape(&src, &profiles[0], &opts);
     }
     let mut last = Outcome::Exit(0);
     let mut runs: Vec<(String, Vec<MemEvent>)> = Vec::new();

@@ -1,12 +1,13 @@
 //! Golden tests for the `--emit-ir` rendering of the lowered bytecode.
 //!
-//! The dumps under `tests/golden/ir/` pin both stages of the pipeline:
+//! The dumps under `tests/golden/ir/` pin every stage of the pipeline:
 //! `<name>.ir` is the raw lowering (block structure, register
-//! allocation, constant pools and the textual format itself) and
+//! allocation, constant pools and the textual format itself),
 //! `<name>.opt.ir` is the peephole-optimised form the bytecode engine
-//! executes, so any change to the lowering *or* to the optimiser shows
-//! up as a reviewable diff rather than silently shifting what the VM
-//! runs.
+//! executes by default, and `<name>.fast.ir` is the register-promoted +
+//! peephole form the `--fast` mode executes, so any change to the
+//! lowering, the optimiser *or* the escape-analysis promotion shows up
+//! as a reviewable diff rather than silently shifting what the VM runs.
 //!
 //! Regenerate after an intentional lowering change:
 //! `CHERI_GOLDEN_BLESS=1 cargo test --test ir_golden`.
@@ -80,13 +81,20 @@ fn golden_dir() -> PathBuf {
         .join("ir")
 }
 
-fn render(src: &str, optimized: bool) -> String {
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    Raw,
+    Opt,
+    Fast,
+}
+
+fn render(src: &str, stage: Stage) -> String {
     let profile = Profile::cerberus();
     let prog = compile_for::<MorelloCap>(src, &profile).expect("golden programs compile");
-    if optimized {
-        ir::lower_opt(&prog).render()
-    } else {
-        ir::lower(&prog).render()
+    match stage {
+        Stage::Raw => ir::lower(&prog).render(),
+        Stage::Opt => ir::lower_opt(&prog).render(),
+        Stage::Fast => ir::lower_fast(&prog).render(),
     }
 }
 
@@ -96,10 +104,14 @@ fn ir_dumps_match_goldens() {
     let dir = golden_dir();
     let mut failures = Vec::new();
     let cases = PROGRAMS.iter().flat_map(|(name, src)| {
-        [(format!("{name}.ir"), *src, false), (format!("{name}.opt.ir"), *src, true)]
+        [
+            (format!("{name}.ir"), *src, Stage::Raw),
+            (format!("{name}.opt.ir"), *src, Stage::Opt),
+            (format!("{name}.fast.ir"), *src, Stage::Fast),
+        ]
     });
-    for (file, src, optimized) in cases {
-        let got = render(src, optimized);
+    for (file, src, stage) in cases {
+        let got = render(src, stage);
         let path = dir.join(&file);
         if bless {
             std::fs::create_dir_all(&dir).expect("create golden dir");
@@ -130,7 +142,16 @@ fn ir_dumps_match_goldens() {
 #[test]
 fn ir_rendering_is_deterministic() {
     for (name, src) in PROGRAMS {
-        assert_eq!(render(src, false), render(src, false), "{name} rendered unstably");
-        assert_eq!(render(src, true), render(src, true), "{name} optimised render unstable");
+        assert_eq!(render(src, Stage::Raw), render(src, Stage::Raw), "{name} rendered unstably");
+        assert_eq!(
+            render(src, Stage::Opt),
+            render(src, Stage::Opt),
+            "{name} optimised render unstable"
+        );
+        assert_eq!(
+            render(src, Stage::Fast),
+            render(src, Stage::Fast),
+            "{name} fast render unstable"
+        );
     }
 }

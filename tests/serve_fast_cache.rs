@@ -1,0 +1,85 @@
+//! Satellite test (PR 10): the fast mode is a *distinct compilation* in
+//! the `cheri-serve` program cache.
+//!
+//! The cache key is (source hash × pointer size × optimisation
+//! fingerprint); `OptFlags::register_promote` is part of the fingerprint,
+//! so two job specs differing only in the fast bit must compile twice,
+//! occupy two cache slots, and hand out different IR — the fast slot
+//! register-promoted, the default slot not. If the bit were missing from
+//! the key, whichever spec ran first would poison the other's executions
+//! with the wrong pipeline.
+
+use std::sync::Arc;
+
+use cheri_c::core::Profile;
+use cheri_c::serve::{execute_job, fast_variant, CompileKey, JobSpec, Mode, ProgramCache};
+use cheri_cap::MorelloCap;
+use cheri_mem::CheriMemory;
+
+const SRC: &str = "int main(void) { long s = 0; for (int i = 0; i < 50; i++) s += i; return (int)(s % 7); }";
+
+#[test]
+fn fast_bit_is_a_distinct_compile_key() {
+    let base = Profile::cerberus();
+    let fast = fast_variant(base.clone());
+    let kb = CompileKey::for_profile::<MorelloCap>(SRC, &base);
+    let kf = CompileKey::for_profile::<MorelloCap>(SRC, &fast);
+    assert_ne!(kb, kf, "fast bit must change the compile key");
+    // Same source, same pointer size — only the opt fingerprint differs.
+    assert_eq!(kb.src_hash, kf.src_hash);
+    assert_ne!(kb.opt, kf.opt);
+}
+
+#[test]
+fn fast_and_default_jobs_get_distinct_cached_ir() {
+    let cache = ProgramCache::new();
+    let base = Profile::cerberus();
+    let fast = fast_variant(base.clone());
+
+    let default_unit = cache
+        .get_or_compile::<MorelloCap>(SRC, &base)
+        .expect("default compiles");
+    let fast_unit = cache
+        .get_or_compile::<MorelloCap>(SRC, &fast)
+        .expect("fast compiles");
+    assert_eq!(cache.misses(), 2, "two distinct keys, two compilations");
+    assert!(!Arc::ptr_eq(&default_unit, &fast_unit));
+
+    // The fast slot's IR is register-promoted; the default slot's is not.
+    let main_of = |ir: &cheri_c::core::ir::IrProgram| {
+        ir.main.map(|m| ir.funcs[m as usize].promoted.clone()).unwrap_or_default()
+    };
+    assert!(
+        main_of(&default_unit.ir).is_empty(),
+        "default pipeline must not promote"
+    );
+    assert!(
+        !main_of(&fast_unit.ir).is_empty(),
+        "fast pipeline must promote the loop scalars"
+    );
+
+    // Re-lookups are hits — the two slots coexist.
+    let again = cache.get_or_compile::<MorelloCap>(SRC, &fast).expect("hit");
+    assert!(Arc::ptr_eq(&again, &fast_unit));
+    assert!(cache.hits() >= 1);
+
+    // And executing both specs against the shared cache agrees on
+    // everything observable.
+    let mut arena = None::<CheriMemory<MorelloCap>>;
+    let spec = |p: Profile, id: &str| JobSpec {
+        id: id.into(),
+        source: Arc::new(SRC.to_string()),
+        profiles: vec![p],
+        mode: Mode::Run,
+    };
+    let d = execute_job::<MorelloCap>(&cache, &spec(base, "default"), &mut arena);
+    let f = execute_job::<MorelloCap>(&cache, &spec(fast, "fast"), &mut arena);
+    assert_eq!(d.profiles[0].outcome, f.profiles[0].outcome);
+    assert_eq!(d.profiles[0].stdout, f.profiles[0].stdout);
+    assert_eq!(d.profiles[0].stderr, f.profiles[0].stderr);
+    // The memory statistics legitimately differ: that is the point.
+    assert_ne!(
+        d.profiles[0].stats, f.profiles[0].stats,
+        "promotion should visibly remove memory traffic"
+    );
+}
